@@ -1,0 +1,80 @@
+"""Fig 10: posting latency (a) and the effect of doorbell batching (b).
+
+Panel (a): the unpipelined posting latency per requester — the SoC posts
+slowest, the host (to the Bluefield NIC) next, clients fastest.
+Panel (b): throughput versus doorbell batch size for path-③ posting —
+2.7-4.6x at the SoC side for batches 16-80, and a 9/7/6 % *loss* at the
+host side for batches 16/32/48 (Advice #4).
+"""
+
+import pytest
+
+from repro.core.bench import ThroughputBench
+from repro.core.latency import LatencyModel
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.workloads import FIG10_BATCHES
+
+from conftest import emit
+
+
+def generate(testbed):
+    latency = LatencyModel(testbed)
+    posting = {path: latency.posting_latency(path)
+               for path in (CommPath.RNIC1, CommPath.SNIC1,
+                            CommPath.SNIC3_H2S, CommPath.SNIC3_S2H)}
+    bench = ThroughputBench(testbed)
+    soc_side = bench.doorbell_sweep(CommPath.SNIC3_S2H, Opcode.READ, 0,
+                                    FIG10_BATCHES, requesters=8)
+    host_side = bench.doorbell_sweep(CommPath.SNIC3_H2S, Opcode.READ, 0,
+                                     FIG10_BATCHES, requesters=24)
+    return posting, soc_side, host_side
+
+
+def report(posting, soc_side, host_side) -> str:
+    rows_a = [[path.label, f"{ns:.0f}"] for path, ns in posting.items()]
+    table_a = format_table(["requester", "posting latency ns"], rows_a,
+                           title="Fig 10(a) — posting latency per requester")
+    soc_base = soc_side.value_at(1)
+    host_base = host_side.value_at(1)
+    rows_b = []
+    for batch in FIG10_BATCHES:
+        rows_b.append([
+            batch,
+            f"{soc_side.value_at(batch):.1f}",
+            f"{soc_side.value_at(batch) / soc_base:.2f}x",
+            f"{host_side.value_at(batch):.1f}",
+            f"{host_side.value_at(batch) / host_base:.2f}x",
+        ])
+    table_b = format_table(
+        ["batch", "SoC-side M/s", "speedup", "host-side M/s", "speedup"],
+        rows_b, title="Fig 10(b) — doorbell batching on path-3 posting")
+    return table_a + "\n\n" + table_b
+
+
+def test_fig10_doorbell(benchmark, testbed):
+    posting, soc_side, host_side = benchmark(generate, testbed)
+    emit("\n" + report(posting, soc_side, host_side))
+
+    # (a) the SoC is the slowest poster (wimpy cores + MMIO).
+    assert posting[CommPath.SNIC3_S2H] > posting[CommPath.SNIC3_H2S]
+    assert posting[CommPath.SNIC3_S2H] > posting[CommPath.SNIC1]
+
+    # (b) SoC side: 2.7x at 16 rising to 4.6x at 80.
+    soc_base = soc_side.value_at(1)
+    assert soc_side.value_at(16) / soc_base == pytest.approx(2.7, rel=0.02)
+    assert soc_side.value_at(80) / soc_base == pytest.approx(4.6, rel=0.02)
+    gains = [soc_side.value_at(b) for b in FIG10_BATCHES]
+    assert all(b >= a for a, b in zip(gains, gains[1:]))
+
+    # (b) host side: -9 %, -7 %, -6 % at 16/32/48.
+    host_base = host_side.value_at(1)
+    assert host_side.value_at(16) / host_base == pytest.approx(0.91, abs=0.01)
+    assert host_side.value_at(32) / host_base == pytest.approx(0.93, abs=0.01)
+    assert host_side.value_at(48) / host_base == pytest.approx(0.94, abs=0.01)
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(*generate(paper_testbed())))

@@ -1,0 +1,92 @@
+"""Fig 11: NIC-core saturation versus requester machines (0 B requests).
+
+Regenerates both panels: READ (a) and WRITE (b) request rates for
+SNIC ① alone, SNIC ② alone, and the two concurrent orders (①+② and
+②+①), sweeping requester machines.  Asserts §4's findings: five
+machines saturate a path, concurrency buys 4-13 % for READ (reserved
+cores) and nearly nothing for WRITE, and the concurrent total sits far
+below the 352 Mpps sum of separate peaks.
+"""
+
+import pytest
+
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.core.throughput import Flow, Scenario, ThroughputSolver
+from repro.workloads import FIG11_MACHINES
+
+from conftest import emit
+
+SATURATE = 5  # machines dedicated to the first path
+
+
+def generate(testbed):
+    solver = ThroughputSolver()
+    series = {}
+    for op in (Opcode.READ, Opcode.WRITE):
+        alone1, alone2, combo12, combo21 = [], [], [], []
+        for machines in FIG11_MACHINES:
+            alone1.append(solver.solve(Scenario(testbed, [
+                Flow(CommPath.SNIC1, op, 0, requesters=machines)])).total_mrps)
+            alone2.append(solver.solve(Scenario(testbed, [
+                Flow(CommPath.SNIC2, op, 0, requesters=machines)])).total_mrps)
+            extra = max(0, machines - SATURATE)
+            if extra:
+                combo12.append(solver.solve(Scenario(testbed, [
+                    Flow(CommPath.SNIC1, op, 0, requesters=SATURATE),
+                    Flow(CommPath.SNIC2, op, 0, requesters=extra),
+                ])).total_mrps)
+                combo21.append(solver.solve(Scenario(testbed, [
+                    Flow(CommPath.SNIC2, op, 0, requesters=SATURATE),
+                    Flow(CommPath.SNIC1, op, 0, requesters=extra),
+                ])).total_mrps)
+            else:
+                combo12.append(alone1[-1])
+                combo21.append(alone2[-1])
+        series[op] = {"SNIC1": alone1, "SNIC2": alone2,
+                      "SNIC1+2": combo12, "SNIC2+1": combo21}
+    return series
+
+
+def report(series) -> str:
+    blocks = []
+    for op, panel in (("(a) READ", Opcode.READ), ("(b) WRITE", Opcode.WRITE)):
+        data = series[panel]
+        rows = []
+        for i, machines in enumerate(FIG11_MACHINES):
+            rows.append([machines] + [f"{data[key][i]:.0f}"
+                                      for key in data])
+        blocks.append(format_table(
+            ["machines"] + list(data), rows,
+            title=f"Fig 11 {op} — PCIe-free 0 B request rate (M reqs/s)"))
+    return "\n\n".join(blocks)
+
+
+def test_fig11_concurrent_paths(benchmark, testbed):
+    series = benchmark(generate, testbed)
+    emit("\n" + report(series))
+
+    read = series[Opcode.READ]
+    # Five machines saturate path 1 at 195 Mpps, path 2 at 157 Mpps.
+    assert read["SNIC1"][SATURATE - 1] == pytest.approx(195, rel=0.01)
+    assert read["SNIC1"][-1] == pytest.approx(195, rel=0.01)
+    assert read["SNIC2"][-1] == pytest.approx(157, rel=0.01)
+    # Concurrent use converges to 210 Mpps: +4-13 % over path 1 alone...
+    assert read["SNIC1+2"][-1] == pytest.approx(210, rel=0.01)
+    gain = read["SNIC1+2"][-1] / read["SNIC1"][-1]
+    assert 1.04 <= gain <= 1.13
+    # ... and both orders behave the same (S4).
+    assert read["SNIC2+1"][-1] == pytest.approx(read["SNIC1+2"][-1], rel=0.02)
+    # Far below the sum of separate peaks (352 Mpps).
+    assert read["SNIC1"][-1] + read["SNIC2"][-1] == pytest.approx(352, rel=0.01)
+    assert read["SNIC1+2"][-1] < 0.65 * 352
+
+    write = series[Opcode.WRITE]
+    # WRITE: "all results are almost the same".
+    assert write["SNIC1+2"][-1] / write["SNIC1"][-1] <= 1.03
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(generate(paper_testbed())))

@@ -1,0 +1,88 @@
+"""Fig 4 (upper): end-to-end latency per path, verb and payload.
+
+Regenerates the latency curves for READ, WRITE and SEND/RECV on
+RNIC ①, SNIC ①, SNIC ② and both directions of SNIC ③, and asserts the
+paper's relative bands (SNIC ① pays 15-30 % on READ, 15-21 % on WRITE,
+6-9 % on SEND; SNIC ② READ sits below SNIC ① but above RNIC ①).
+"""
+
+from repro.core.bench import LatencyBench
+from repro.core.latency import LatencyModel
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.units import fmt_size
+from repro.workloads import FIG4_PAYLOADS
+
+from conftest import emit
+
+
+def generate(testbed):
+    model = LatencyModel(testbed)
+    series = {}
+    for op in Opcode:
+        for path in CommPath:
+            series[(op, path)] = [
+                model.latency(path, op, payload).total_us
+                for payload in FIG4_PAYLOADS
+            ]
+    return series
+
+
+def report(series) -> str:
+    blocks = []
+    for op in Opcode:
+        rows = []
+        for i, payload in enumerate(FIG4_PAYLOADS):
+            rows.append([fmt_size(payload)]
+                        + [f"{series[(op, path)][i]:.2f}"
+                           for path in CommPath])
+        headers = ["payload"] + [p.label for p in CommPath]
+        blocks.append(format_table(
+            headers, rows, title=f"Fig 4 (upper) — {op.value.upper()} latency (us)"))
+    return "\n\n".join(blocks)
+
+
+def test_fig4_latency(benchmark, testbed):
+    series = benchmark(generate, testbed)
+    emit("\n" + report(series))
+
+    def at(op, path, payload):
+        return series[(op, path)][FIG4_PAYLOADS.index(payload)]
+
+    for payload in (16, 64, 128):
+        assert 1.15 <= (at(Opcode.READ, CommPath.SNIC1, payload)
+                        / at(Opcode.READ, CommPath.RNIC1, payload)) <= 1.30
+        assert 1.15 <= (at(Opcode.WRITE, CommPath.SNIC1, payload)
+                        / at(Opcode.WRITE, CommPath.RNIC1, payload)) <= 1.21
+        assert 1.06 <= (at(Opcode.SEND, CommPath.SNIC1, payload)
+                        / at(Opcode.SEND, CommPath.RNIC1, payload)) <= 1.09
+        # Path 2 READ: below path 1, above the RNIC baseline.
+        assert (at(Opcode.READ, CommPath.RNIC1, payload)
+                < at(Opcode.READ, CommPath.SNIC2, payload)
+                < at(Opcode.READ, CommPath.SNIC1, payload))
+        # Path 2 SEND: 21-30 % above path 1 (wimpy SoC).
+        assert 1.21 <= (at(Opcode.SEND, CommPath.SNIC2, payload)
+                        / at(Opcode.SEND, CommPath.SNIC1, payload)) <= 1.30
+    # S2H posts slowest (Fig 10a shows up here as well).
+    assert (at(Opcode.READ, CommPath.SNIC3_S2H, 64)
+            > at(Opcode.READ, CommPath.SNIC3_H2S, 64))
+
+
+def test_fig4_latency_des_cross_check(benchmark, testbed):
+    """The DES replays of the responder DMA agree with Fig 3's shape."""
+    bench = LatencyBench(testbed)
+
+    def dma_pair():
+        return (bench.simulate_dma_latency(CommPath.SNIC1, Opcode.READ, 64),
+                bench.simulate_dma_latency(CommPath.SNIC1, Opcode.WRITE, 64))
+
+    read_ns, write_ns = benchmark(dma_pair)
+    emit(f"\nFig 3 cross-check — responder DMA: READ {read_ns:.0f} ns, "
+         f"WRITE {write_ns:.0f} ns (READ crosses the fabric twice)")
+    assert read_ns > 1.8 * write_ns
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(generate(paper_testbed())))

@@ -1,0 +1,86 @@
+"""Fig 4 (lower): peak throughput per path, verb and payload.
+
+Regenerates the throughput curves (up to 11 requester machines for the
+client paths, requester threads for path ③) and asserts the paper's
+relative bands: SNIC ① loses 19-26 % (READ) / 15-22 % (WRITE) to
+RNIC ① below 512 B; SNIC ② runs 1.08-1.48x SNIC ① for one-sided verbs
+and drops ~64 % for SEND; everything converges to the network bound for
+large payloads.
+"""
+
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.core.throughput import Flow, Scenario, ThroughputSolver
+from repro.units import KB, fmt_size
+from repro.workloads import FIG4_PAYLOADS
+
+from conftest import emit
+
+
+def generate(testbed):
+    solver = ThroughputSolver()
+    series = {}
+    for op in Opcode:
+        for path in CommPath:
+            requesters = 24 if path.intra_machine else 11
+            rates = []
+            for payload in FIG4_PAYLOADS:
+                result = solver.solve(Scenario(testbed, [
+                    Flow(path=path, op=op, payload=payload,
+                         requesters=requesters)]))
+                rates.append(result.mrps_of(0))
+            series[(op, path)] = rates
+    return series
+
+
+def report(series) -> str:
+    blocks = []
+    for op in Opcode:
+        rows = []
+        for i, payload in enumerate(FIG4_PAYLOADS):
+            rows.append([fmt_size(payload)]
+                        + [f"{series[(op, path)][i]:.1f}"
+                           for path in CommPath])
+        headers = ["payload"] + [p.label for p in CommPath]
+        blocks.append(format_table(
+            headers, rows,
+            title=f"Fig 4 (lower) — {op.value.upper()} peak throughput (M reqs/s)"))
+    return "\n\n".join(blocks)
+
+
+def test_fig4_throughput(benchmark, testbed):
+    series = benchmark(generate, testbed)
+    emit("\n" + report(series))
+
+    def at(op, path, payload):
+        return series[(op, path)][FIG4_PAYLOADS.index(payload)]
+
+    for payload in (16, 64, 128):
+        assert 0.74 <= (at(Opcode.READ, CommPath.SNIC1, payload)
+                        / at(Opcode.READ, CommPath.RNIC1, payload)) <= 0.82
+        assert 1.08 <= (at(Opcode.READ, CommPath.SNIC2, payload)
+                        / at(Opcode.READ, CommPath.SNIC1, payload)) <= 1.48
+    for payload in (16, 64):  # the WRITE gap closes at the 128 B network knee
+        assert 0.78 <= (at(Opcode.WRITE, CommPath.SNIC1, payload)
+                        / at(Opcode.WRITE, CommPath.RNIC1, payload)) <= 0.85
+        # SNIC2 READ observably above the RNIC baseline (S3.2).
+        assert (at(Opcode.READ, CommPath.SNIC2, payload)
+                > at(Opcode.READ, CommPath.RNIC1, payload))
+        # SEND to the SoC drops hard (wimpy cores).
+        assert (at(Opcode.SEND, CommPath.SNIC2, payload)
+                < 0.45 * at(Opcode.SEND, CommPath.SNIC1, payload))
+    # Path 3 small requests are requester-bound (51.2 / 29 M reqs/s).
+    assert abs(at(Opcode.READ, CommPath.SNIC3_H2S, 64) - 51.2) < 1
+    assert abs(at(Opcode.READ, CommPath.SNIC3_S2H, 64) - 29.0) < 1
+    # Large payloads: network-bound, SNIC1 == RNIC1.
+    import pytest
+
+    big = 16 * KB
+    assert (at(Opcode.READ, CommPath.SNIC1, big)
+            == pytest.approx(at(Opcode.READ, CommPath.RNIC1, big), rel=0.02))
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(generate(paper_testbed())))

@@ -1,0 +1,80 @@
+"""Fig 5(b) and the §4 bandwidth-partitioning experiment.
+
+Regenerates the peak-throughput bars for READ / WRITE / READ+WRITE
+combinations on paths ①, ② and ③, and the §4 aggregate with a budgeted
+path ③.  Asserts: opposite directions multiplex to ~364 Gbps on the
+network paths, path ③ cannot exceed its single-direction ~204 Gbps, and
+budgeting path ③ at P - N raises the aggregate.
+"""
+
+import pytest
+
+from repro.core.flows import ConcurrencyAnalyzer
+from repro.core.paths import CommPath
+from repro.core.report import format_table
+
+from conftest import emit
+
+PATHS = [CommPath.SNIC1, CommPath.SNIC2, CommPath.SNIC3_S2H]
+COMBOS = ["READ", "WRITE", "READ+WRITE"]
+
+
+def generate(testbed):
+    analyzer = ConcurrencyAnalyzer(testbed)
+    bars = {path: {name: result.total_gbps
+                   for name, result in
+                   analyzer.direction_combinations(path).items()}
+            for path in PATHS}
+    budget = analyzer.path3_budget_gbps()
+    aggregate = {
+        "inter-machine only": analyzer.aggregate_with_budgeted_path3(0),
+        f"+ path-3 at {budget:.0f} Gbps":
+            analyzer.aggregate_with_budgeted_path3(budget),
+        "+ path-3 unbudgeted":
+            analyzer.aggregate_with_budgeted_path3(200.0),
+    }
+    return bars, budget, aggregate
+
+
+def report(bars, budget, aggregate) -> str:
+    rows = [[path.label] + [f"{bars[path][combo]:.0f}" for combo in COMBOS]
+            for path in PATHS]
+    table1 = format_table(["path"] + COMBOS, rows,
+                          title="Fig 5(b) — peak bandwidth of flow "
+                                "combinations, 4 KB payloads (Gbps)")
+    rows2 = [[name, f"{result.total_gbps:.0f}"]
+             for name, result in aggregate.items()]
+    table2 = format_table(["scenario", "aggregate Gbps"], rows2,
+                          title=f"S4 — budget rule: B(3) <= P - N "
+                                f"= {budget:.0f} Gbps")
+    return table1 + "\n\n" + table2
+
+
+def test_fig5_flow_combinations(benchmark, testbed):
+    bars, budget, aggregate = benchmark(generate, testbed)
+    emit("\n" + report(bars, budget, aggregate))
+
+    # Network paths: single direction ~190, READ+WRITE ~364 Gbps.
+    assert bars[CommPath.SNIC1]["READ"] == pytest.approx(190, rel=0.02)
+    assert bars[CommPath.SNIC1]["READ+WRITE"] == pytest.approx(364, rel=0.03)
+    assert bars[CommPath.SNIC2]["READ+WRITE"] > 1.7 * bars[CommPath.SNIC2]["READ"]
+    # Path 3: single direction ~204 Gbps and no doubling.
+    s2h = bars[CommPath.SNIC3_S2H]
+    assert max(s2h["READ"], s2h["WRITE"]) == pytest.approx(204, rel=0.03)
+    assert s2h["READ+WRITE"] < 1.15 * max(s2h["READ"], s2h["WRITE"])
+    # Budget rule: 56 Gbps of path 3 raises the aggregate; unbudgeted
+    # path 3 eats into inter-machine bandwidth instead.
+    assert budget == pytest.approx(56.0)
+    plain = aggregate["inter-machine only"].total_gbps
+    budgeted = aggregate[f"+ path-3 at {budget:.0f} Gbps"]
+    assert budgeted.total_gbps > plain + 20
+    unbudgeted = aggregate["+ path-3 unbudgeted"]
+    inter_budgeted = budgeted.gbps_of(0) + budgeted.gbps_of(1)
+    inter_unbudgeted = unbudgeted.gbps_of(0) + unbudgeted.gbps_of(1)
+    assert inter_unbudgeted < inter_budgeted
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(*generate(paper_testbed())))

@@ -1,0 +1,83 @@
+"""Fig 7: one-sided throughput versus responder address range.
+
+Regenerates the skewed-access study: READ and WRITE request rates
+against SoC memory (SNIC ②, no DDIO) and host memory (SNIC ①, DDIO)
+as the address range shrinks from 10 GB to 1.5 KB.  Asserts the paper's
+floors — WRITE collapses to 22.7 M reqs/s and READ to 50 M reqs/s at
+1.5 KB on the SoC — and the host's flat lines.
+
+The paper ran this on the CLI machines (the footnote about DDIO), with
+two requesters; we match that setup.
+"""
+
+import pytest
+
+from repro.core.bench import ThroughputBench
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.units import KB, fmt_size
+from repro.workloads import FIG7_RANGES
+
+from conftest import emit
+
+PAYLOAD = 64
+REQUESTERS = 2  # calibrated to the paper's weaker Fig 7 setup
+
+
+def generate(testbed):
+    bench = ThroughputBench(testbed)
+    series = {}
+    for op in (Opcode.READ, Opcode.WRITE):
+        for path in (CommPath.SNIC1, CommPath.SNIC2):
+            sweep = bench.range_sweep(path, op, PAYLOAD, FIG7_RANGES,
+                                      requesters=REQUESTERS)
+            series[(op, path)] = sweep
+    return series
+
+
+def report(series) -> str:
+    blocks = []
+    for op in (Opcode.READ, Opcode.WRITE):
+        rows = []
+        for range_bytes in FIG7_RANGES:
+            rows.append([
+                fmt_size(range_bytes),
+                f"{series[(op, CommPath.SNIC1)].value_at(range_bytes):.1f}",
+                f"{series[(op, CommPath.SNIC2)].value_at(range_bytes):.1f}",
+            ])
+        blocks.append(format_table(
+            ["range", "SNIC ① host+DDIO", "SNIC ② SoC no-DDIO"], rows,
+            title=f"Fig 7 — {op.value.upper()} throughput vs address "
+                  "range (M reqs/s)"))
+    return "\n\n".join(blocks)
+
+
+def test_fig7_skew(benchmark, testbed):
+    series = benchmark(generate, testbed)
+    emit("\n" + report(series))
+
+    write_soc = series[(Opcode.WRITE, CommPath.SNIC2)]
+    read_soc = series[(Opcode.READ, CommPath.SNIC2)]
+    # Paper floors at 1.5 KB: 22.7 M (WRITE) and 50 M (READ).
+    assert write_soc.value_at(1536) == pytest.approx(22.7, rel=0.01)
+    assert read_soc.value_at(1536) == pytest.approx(50.0, rel=0.01)
+    # Wide-range peaks recover (77.9 / 85 M in the paper's setup).
+    assert write_soc.value_at(48 * KB) == pytest.approx(78, rel=0.02)
+    assert read_soc.value_at(48 * KB) == pytest.approx(78, rel=0.02)
+    # READ degrades less than WRITE (DRAM serves reads faster).
+    assert (read_soc.value_at(1536) / read_soc.value_at(48 * KB)
+            > write_soc.value_at(1536) / write_soc.value_at(48 * KB))
+    # Host lines are flat thanks to DDIO.
+    for op in (Opcode.READ, Opcode.WRITE):
+        host = series[(op, CommPath.SNIC1)]
+        assert host.value_at(1536) == pytest.approx(
+            host.value_at(FIG7_RANGES[-1]), rel=0.01)
+    # Monotone recovery as the range grows.
+    values = write_soc.values()
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(generate(paper_testbed())))

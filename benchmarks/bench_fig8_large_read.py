@@ -1,0 +1,76 @@
+"""Fig 8: bandwidth and PCIe packet rate for large requests (paths ①/②).
+
+Regenerates both panels: (a) achieved bandwidth versus payload, and
+(b) PCIe packets per second at the NIC's port, for READ and WRITE to
+host and SoC memory.  Asserts the head-of-line collapse: SNIC ② READ
+falls from ~186 Mpps to <=120 Mpps above 9 MB (Advice #2), while WRITEs
+and the host path stay network-bound (~46.7 Mpps at 512 B TLPs).
+"""
+
+import pytest
+
+from repro.core.bench import ThroughputBench
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.units import MB, fmt_size
+from repro.workloads import FIG8_PAYLOADS
+
+from conftest import emit
+
+
+def generate(testbed):
+    bench = ThroughputBench(testbed)
+    bandwidth = {}
+    pps = {}
+    for op in (Opcode.READ, Opcode.WRITE):
+        for path in (CommPath.SNIC1, CommPath.SNIC2):
+            bandwidth[(op, path)] = bench.payload_sweep(
+                path, op, FIG8_PAYLOADS, metric="gbps")
+            pps[(op, path)] = bench.pps_sweep(
+                path, op, FIG8_PAYLOADS, scope="nic")
+    return bandwidth, pps
+
+
+def report(bandwidth, pps) -> str:
+    rows = []
+    for payload in FIG8_PAYLOADS:
+        rows.append([
+            fmt_size(payload),
+            f"{bandwidth[(Opcode.READ, CommPath.SNIC1)].value_at(payload):.0f}",
+            f"{bandwidth[(Opcode.READ, CommPath.SNIC2)].value_at(payload):.0f}",
+            f"{bandwidth[(Opcode.WRITE, CommPath.SNIC2)].value_at(payload):.0f}",
+            f"{pps[(Opcode.READ, CommPath.SNIC1)].value_at(payload):.1f}",
+            f"{pps[(Opcode.READ, CommPath.SNIC2)].value_at(payload):.0f}",
+        ])
+    return format_table(
+        ["payload", "① R Gbps", "② R Gbps", "② W Gbps",
+         "① R Mpps", "② R Mpps"],
+        rows, title="Fig 8 — large requests: bandwidth (a) and PCIe pps (b)")
+
+
+def test_fig8_large_read_collapse(benchmark, testbed):
+    bandwidth, pps = benchmark(generate, testbed)
+    emit("\n" + report(bandwidth, pps))
+
+    read_soc_bw = bandwidth[(Opcode.READ, CommPath.SNIC2)]
+    read_soc_pps = pps[(Opcode.READ, CommPath.SNIC2)]
+    # Below the 9 MB threshold: network-bound, ~190 Gbps / ~186 Mpps.
+    assert read_soc_bw.value_at(8 * MB) == pytest.approx(189, rel=0.02)
+    assert read_soc_pps.value_at(8 * MB) == pytest.approx(186, rel=0.05)
+    # Above: collapse to <= 120 Mpps and ~120 Gbps (Advice #2).
+    assert read_soc_pps.value_at(16 * MB) <= 120
+    assert read_soc_bw.value_at(16 * MB) == pytest.approx(119, rel=0.05)
+    # WRITEs to the SoC are posted: no collapse.
+    assert (bandwidth[(Opcode.WRITE, CommPath.SNIC2)].value_at(64 * MB)
+            > 180)
+    # The host path at 512 B TLPs: ~46.7 Mpps, network-bound 191 Gbps.
+    assert pps[(Opcode.READ, CommPath.SNIC1)].value_at(16 * MB) == (
+        pytest.approx(52, rel=0.05))  # 46.7 M data TLPs + read requests
+    assert (bandwidth[(Opcode.READ, CommPath.SNIC1)].value_at(16 * MB)
+            == pytest.approx(189, rel=0.02))
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(*generate(paper_testbed())))

@@ -1,0 +1,79 @@
+"""Fig 9: host<->SoC transfers — bandwidth and PCIe packet rate.
+
+Regenerates both panels for READ and WRITE in both directions of
+path ③.  Asserts the paper's anchors: ~204 Gbps peak at 256 KB with
+~320 M PCIe packets per second across the fabric (the 293 Mpps Table-3
+floor plus control traffic), collapse to ~100 Gbps for large requests,
+and S2H collapsing earlier than H2S.
+"""
+
+import pytest
+
+from repro.core.bench import ThroughputBench
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.units import KB, MB, fmt_size
+from repro.workloads import FIG9_PAYLOADS
+
+from conftest import emit
+
+# Paper direction convention: "S2H" moves data SoC -> host.  In verb
+# terms that is a WRITE issued by the SoC (or a READ issued by the
+# host); see EXPERIMENTS.md.
+SERIES = {
+    "S2H (soc WRITE)": (CommPath.SNIC3_S2H, Opcode.WRITE, 8),
+    "S2H (host READ)": (CommPath.SNIC3_H2S, Opcode.READ, 24),
+    "H2S (host WRITE)": (CommPath.SNIC3_H2S, Opcode.WRITE, 24),
+    "H2S (soc READ)": (CommPath.SNIC3_S2H, Opcode.READ, 8),
+}
+
+
+def generate(testbed):
+    bench = ThroughputBench(testbed)
+    bandwidth = {}
+    pps = {}
+    for name, (path, op, threads) in SERIES.items():
+        bandwidth[name] = bench.payload_sweep(path, op, FIG9_PAYLOADS,
+                                              requesters=threads,
+                                              metric="gbps")
+        pps[name] = bench.pps_sweep(path, op, FIG9_PAYLOADS,
+                                    requesters=threads, scope="fabric")
+    return bandwidth, pps
+
+
+def report(bandwidth, pps) -> str:
+    rows = []
+    for payload in FIG9_PAYLOADS:
+        row = [fmt_size(payload)]
+        for name in SERIES:
+            row.append(f"{bandwidth[name].value_at(payload):.0f}")
+        row.append(f"{pps['S2H (soc WRITE)'].value_at(payload):.0f}")
+        rows.append(row)
+    return format_table(
+        ["payload"] + [f"{n} Gbps" for n in SERIES] + ["S2H Mpps"],
+        rows, title="Fig 9 — host<->SoC bandwidth (a) and PCIe pps (b)")
+
+
+def test_fig9_host_soc(benchmark, testbed):
+    bandwidth, pps = benchmark(generate, testbed)
+    emit("\n" + report(bandwidth, pps))
+
+    s2h = bandwidth["S2H (soc WRITE)"]
+    # Peak ~204 Gbps at 256 KB — above the 191 Gbps network paths.
+    assert s2h.value_at(256 * KB) == pytest.approx(204, rel=0.01)
+    # ... carrying ~320 Mpps across the internal fabric (Fig 9b).
+    assert pps["S2H (soc WRITE)"].value_at(256 * KB) == pytest.approx(
+        310, rel=0.05)
+    # Large transfers collapse to ~100 Gbps in both directions.
+    assert s2h.value_at(16 * MB) == pytest.approx(100, rel=0.15)
+    assert bandwidth["H2S (host WRITE)"].value_at(16 * MB) == pytest.approx(
+        100, rel=0.15)
+    # S2H collapses earlier than H2S (its first leg reads SoC memory).
+    assert (s2h.value_at(4 * MB)
+            < 0.75 * bandwidth["H2S (host WRITE)"].value_at(4 * MB))
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(*generate(paper_testbed())))

@@ -1,0 +1,75 @@
+"""Extension: latency-throughput curves per path (beyond the paper).
+
+The paper reports the endpoints — unloaded latency (Fig 4 upper) and
+peak throughput (Fig 4 lower).  This bench fills in the curve with the
+M/D/1 queueing extension: mean latency versus offered load for 64 B
+READs on each path, plus the provisioning knee (where latency doubles).
+"""
+
+import pytest
+
+from repro.core.loaded import LoadedLatencyModel
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.core.throughput import Flow
+
+from conftest import emit
+
+PATHS = [CommPath.RNIC1, CommPath.SNIC1, CommPath.SNIC2]
+UTILIZATIONS = [0.0, 0.5, 0.8, 0.9, 0.95]
+
+
+def generate(testbed):
+    model = LoadedLatencyModel(testbed)
+    curves = {}
+    knees = {}
+    for path in PATHS:
+        flow = Flow(path, Opcode.READ, 64, requesters=11)
+        peak = model.peak(flow).rates[0]
+        curves[path] = [model.latency_at(flow, u * peak)
+                        for u in UTILIZATIONS]
+        knees[path] = model.knee(flow)
+    return curves, knees
+
+
+def report(curves, knees) -> str:
+    rows = []
+    for path in PATHS:
+        for point in curves[path]:
+            rows.append([path.label, f"{point.utilization:.2f}",
+                         f"{point.offered_mrps:.0f}",
+                         f"{point.latency_us:.2f}",
+                         f"{point.queueing_ns:.0f}"])
+    table = format_table(
+        ["path", "utilization", "offered M/s", "latency us", "queueing ns"],
+        rows, title="Latency vs offered load, 64 B READ (M/D/1 extension)")
+    knee_rows = [[p.label, f"{knees[p].utilization:.4f}",
+                  f"{knees[p].offered_mrps:.0f}"] for p in PATHS]
+    table2 = format_table(["path", "knee utilization", "knee M/s"],
+                          knee_rows,
+                          title="Provisioning knee (latency = 2x unloaded)")
+    return table + "\n\n" + table2
+
+
+def test_loaded_latency_curves(benchmark, testbed):
+    curves, knees = benchmark(generate, testbed)
+    emit("\n" + report(curves, knees))
+
+    for path in PATHS:
+        latencies = [p.latency_ns for p in curves[path]]
+        assert latencies == sorted(latencies)      # monotone in load
+        # ns-scale service vs us-scale latency: the curve stays flat
+        # until deep saturation (RDMA's flat-then-cliff shape).
+        assert curves[path][-2].latency_ns < 1.1 * curves[path][0].latency_ns
+        assert knees[path].utilization > 0.99
+    # The unloaded ordering survives at every load level.
+    for i in range(len(UTILIZATIONS)):
+        assert (curves[CommPath.RNIC1][i].latency_ns
+                < curves[CommPath.SNIC2][i].latency_ns
+                < curves[CommPath.SNIC1][i].latency_ns)
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(*generate(paper_testbed())))

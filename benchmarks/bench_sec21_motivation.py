@@ -1,0 +1,103 @@
+"""§2.1 motivation numbers: host CPU occupation and network amplification.
+
+Regenerates the two problems that motivate SmartNICs:
+
+* **Issue #1** — a 24-core server saturates at ~87 Mpps of two-sided
+  traffic while the NIC cores process >195 Mpps; scaling the network
+  from 25 to 100 Gbps demands ~2.3x the CPU cores (the LineFS
+  observation the paper cites).
+* **Issue #2** — a one-sided KV get costs two READ round trips versus
+  one RPC when the index lookup is offloaded (Fig 1), reproduced on the
+  discrete-event cluster.
+"""
+
+import math
+
+import pytest
+
+from repro.apps.kvstore import KVServer, OffloadedKVClient, OneSidedKVClient
+from repro.core.report import format_table
+from repro.net.cluster import SimCluster
+from repro.rdma import RdmaContext
+from repro.units import gbps, to_mrps
+
+from conftest import emit
+
+
+def generate(testbed):
+    host_mpps = to_mrps(testbed.host_cpu.echo_capacity())
+    nic_mpps = to_mrps(testbed.snic.spec.cores.verb_rate_host_only)
+    # Cores a LineFS-style file server needs: a bandwidth-independent
+    # application baseline (metadata, journaling: ~2 cores) plus network
+    # cores for 512 B messages at line rate.
+    per_core = testbed.host_cpu.two_sided_per_core
+    app_cores = 2
+    cores_needed = {}
+    for net_gbps in (25, 100):
+        msgs_per_ns = gbps(net_gbps) / 512
+        cores_needed[net_gbps] = app_cores + math.ceil(msgs_per_ns / per_core)
+    return host_mpps, nic_mpps, cores_needed
+
+
+def run_kv_comparison():
+    from repro.net.topology import paper_testbed
+
+    cluster = SimCluster(paper_testbed())
+    ctx = RdmaContext(cluster)
+    host_store = KVServer(ctx, "host")
+    soc_store = KVServer(ctx, "soc")
+    for store in (host_store, soc_store):
+        store.put(b"key", b"value")
+    one_sided = OneSidedKVClient(ctx, "client0", host_store)
+    offloaded = OffloadedKVClient(ctx, "client1", soc_store)
+    for client in (one_sided, offloaded):
+        proc = cluster.sim.process(client.get(b"key"))
+        cluster.sim.run()
+        assert proc.value == b"value"
+    return one_sided.stats, offloaded.stats
+
+
+def report(host_mpps, nic_mpps, cores_needed, one_sided, offloaded) -> str:
+    table1 = format_table(
+        ["resource", "Mpps"],
+        [["24-core host, two-sided echo", f"{host_mpps:.0f}"],
+         ["NIC cores", f">={nic_mpps:.0f}"]],
+        title="S2.1 Issue #1 — CPU occupation")
+    ratio = cores_needed[100] / cores_needed[25]
+    table2 = format_table(
+        ["network", "cores needed (4 KB msgs)"],
+        [[f"{g} Gbps", cores_needed[g]] for g in (25, 100)],
+        title=f"S2.1 — CPU scaling with line rate ({ratio:.2f}x; "
+              "LineFS reports 2.27x)")
+    table3 = format_table(
+        ["strategy", "round trips/get", "latency us"],
+        [["one-sided (Fig 1a)", f"{one_sided.round_trips_per_get:.0f}",
+          f"{one_sided.latency.mean / 1000:.2f}"],
+         ["offloaded (Fig 1b)", f"{offloaded.round_trips_per_get:.0f}",
+          f"{offloaded.latency.mean / 1000:.2f}"]],
+        title="S2.1 Issue #2 — network amplification (Fig 1)")
+    return "\n\n".join([table1, table2, table3])
+
+
+def test_sec21_motivation(benchmark, testbed):
+    host_mpps, nic_mpps, cores_needed = benchmark(generate, testbed)
+    one_sided, offloaded = run_kv_comparison()
+    emit("\n" + report(host_mpps, nic_mpps, cores_needed,
+                       one_sided, offloaded))
+
+    assert host_mpps == pytest.approx(87, rel=0.01)
+    assert nic_mpps >= 195
+    # LineFS: ~2.27x the cores from 25 to 100 Gbps (we land close).
+    assert cores_needed[100] / cores_needed[25] == pytest.approx(2.3, abs=0.4)
+    # Fig 1: the offloaded get halves the round trips and wins latency.
+    assert one_sided.round_trips_per_get == 2
+    assert offloaded.round_trips_per_get == 1
+    assert offloaded.latency.mean < 0.75 * one_sided.latency.mean
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    host_mpps, nic_mpps, cores = generate(paper_testbed())
+    one_sided, offloaded = run_kv_comparison()
+    emit(report(host_mpps, nic_mpps, cores, one_sided, offloaded))

@@ -1,0 +1,89 @@
+"""Table 3: the PCIe MTU and packet-count model, cross-checked.
+
+Regenerates the table (TLPs per N-byte transfer on each path's links)
+and validates the closed-form model two ways: against the paper's
+worked example (293 Mpps for 200 Gbps SoC->host), and against the
+discrete-event simulation's TLP counters (the simulated "hardware
+counters").
+"""
+
+import pytest
+
+from repro.core.packets import PacketCountModel
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.net.cluster import SimCluster
+from repro.rdma import RdmaContext
+from repro.units import KB, MB, fmt_size, gbps
+
+from conftest import emit
+
+SIZES = [4 * KB, 64 * KB, 1 * MB]
+
+
+def generate(testbed):
+    model = PacketCountModel(testbed.snic.spec)
+    rows = []
+    for nbytes in SIZES:
+        for path in (CommPath.SNIC1, CommPath.SNIC2, CommPath.SNIC3_S2H):
+            row = model.table3_row(path, nbytes)
+            rows.append((fmt_size(nbytes), path.label,
+                         row["pcie1"], row["pcie0"]))
+    example = model.pps_for_bandwidth(CommPath.SNIC3_S2H, Opcode.WRITE,
+                                      gbps(200), 4 * KB) * 1e3
+    return rows, example
+
+
+def des_counters(testbed_factory, nbytes):
+    """Run one S2H WRITE on the DES and read the PCIe1 counters."""
+    from repro.net.topology import paper_testbed
+
+    cluster = SimCluster(paper_testbed())
+    ctx = RdmaContext(cluster)
+    soc_mr = ctx.reg_mr("soc", nbytes)
+    host_mr = ctx.reg_mr("host", nbytes)
+    qp, _ = ctx.connect_rc("soc", "host")
+    qp.post_write(1, soc_mr, host_mr, nbytes)
+    cluster.sim.run()
+    return cluster.snic.pcie1.total_tlps, cluster.snic.pcie0.total_tlps
+
+
+def report(rows, example) -> str:
+    table = format_table(
+        ["N", "path", "PCIe1 TLPs", "PCIe0 TLPs"],
+        [list(r) for r in rows],
+        title="Table 3 — data TLPs per transfer (host MTU 512 B, "
+              "SoC MTU 128 B)")
+    return (table + f"\n\nS3.3 worked example: 200 Gbps SoC->host requires "
+            f"{example:.0f} Mpps (paper: >= 293 Mpps)")
+
+
+def test_table3_model(benchmark, testbed):
+    rows, example = benchmark(generate, testbed)
+    emit("\n" + report(rows, example))
+
+    as_dict = {(n, p): (p1, p0) for n, p, p1, p0 in rows}
+    # ceil(N/512) on both links for path 1; ceil(N/128) on PCIe1 for
+    # path 2; the sum for path 3.
+    assert as_dict[("4KB", CommPath.SNIC1.label)] == (8, 8)
+    assert as_dict[("4KB", CommPath.SNIC2.label)] == (32, 0)
+    assert as_dict[("4KB", CommPath.SNIC3_S2H.label)] == (40, 8)
+    assert example == pytest.approx(293, rel=0.01)
+
+
+def test_table3_matches_des_hardware_counters(benchmark, testbed):
+    nbytes = 64 * KB
+    pcie1, pcie0 = benchmark(des_counters, None, nbytes)
+    model = PacketCountModel(testbed.snic.spec)
+    expected = model.counts(CommPath.SNIC3_S2H, Opcode.WRITE, nbytes)
+    emit(f"\nDES counters for one {fmt_size(nbytes)} S2H WRITE: "
+         f"PCIe1 {pcie1:.0f} TLPs (model {expected.pcie1_total}), "
+         f"PCIe0 {pcie0:.0f} TLPs (model {expected.pcie0_total})")
+    assert pcie1 == expected.pcie1_total
+    assert pcie0 == expected.pcie0_total
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(*generate(paper_testbed())))

@@ -1,0 +1,106 @@
+"""§5 what-if benches: vendor suggestions and Bluefield-3 projection.
+
+Not a paper figure — the paper's Discussion section makes three claims
+without measurements; these benches quantify them with the same models:
+
+* CCI on the SoC removes the Fig 7 write-skew anomaly,
+* CXL for host<->SoC beats the RDMA path-③ ceiling and frees PCIe1,
+* Bluefield-3 scales the constants 2x but keeps every anomaly.
+"""
+
+import pytest
+
+from repro.core.flows import ConcurrencyAnalyzer
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.core.throughput import Flow, Scenario, ThroughputSolver
+from repro.core.whatif import (
+    CxlPath3Model,
+    bluefield3_testbed,
+    speed_ratios,
+    with_cci_soc,
+)
+from repro.units import KB, MB, to_gbps
+
+from conftest import emit
+
+SOLVER = ThroughputSolver()
+
+
+def peak(testbed, path, op, payload, **kw):
+    return SOLVER.solve(Scenario(testbed, [
+        Flow(path=path, op=op, payload=payload,
+             requesters=kw.pop("requesters", 11), **kw)]))
+
+
+def generate(testbed):
+    cci = with_cci_soc(testbed)
+    bf3 = bluefield3_testbed(testbed)
+    cxl = CxlPath3Model(testbed.snic.spec)
+
+    skew = {
+        "BF2 (no CCI)": peak(testbed, CommPath.SNIC2, Opcode.WRITE, 64,
+                             range_bytes=1536).mrps_of(0),
+        "BF2 + CCI": peak(cci, CommPath.SNIC2, Opcode.WRITE, 64,
+                          range_bytes=1536).mrps_of(0),
+    }
+    path3 = {
+        "RDMA path-3 (today)": to_gbps(cxl.rdma_path3_bandwidth(256 * KB)),
+        "CXL host<->SoC": to_gbps(cxl.bandwidth()),
+    }
+    bf3_rows = {
+        "network Gbps (16 KB READ)": (
+            peak(testbed, CommPath.SNIC1, Opcode.READ, 16 * KB).gbps_of(0),
+            peak(bf3, CommPath.SNIC1, Opcode.READ, 16 * KB).gbps_of(0)),
+        "path-3 budget Gbps": (
+            ConcurrencyAnalyzer(testbed).path3_budget_gbps(),
+            ConcurrencyAnalyzer(bf3).path3_budget_gbps()),
+        "HOL-collapsed 16 MB READ Gbps": (
+            peak(testbed, CommPath.SNIC2, Opcode.READ, 16 * MB).gbps_of(0),
+            peak(bf3, CommPath.SNIC2, Opcode.READ, 16 * MB).gbps_of(0)),
+        "skew floor M reqs/s": (
+            peak(testbed, CommPath.SNIC2, Opcode.WRITE, 64,
+                 range_bytes=1536).mrps_of(0),
+            peak(bf3, CommPath.SNIC2, Opcode.WRITE, 64,
+                 range_bytes=1536).mrps_of(0)),
+    }
+    return skew, path3, bf3_rows, speed_ratios(testbed, bf3)
+
+
+def report(skew, path3, bf3_rows, ratios) -> str:
+    t1 = format_table(["configuration", "narrow-range WRITE M/s"],
+                      [[k, f"{v:.1f}"] for k, v in skew.items()],
+                      title="S5 — CCI removes the write-skew anomaly")
+    t2 = format_table(["transport", "host<->SoC Gbps"],
+                      [[k, f"{v:.0f}"] for k, v in path3.items()],
+                      title="S5 — CXL vs RDMA for path 3")
+    t3 = format_table(["metric", "Bluefield-2", "Bluefield-3"],
+                      [[k, f"{a:.1f}", f"{b:.1f}"]
+                       for k, (a, b) in bf3_rows.items()],
+                      title=f"S5 — Bluefield-3 projection "
+                            f"(network x{ratios['network']:.0f}, "
+                            f"PCIe x{ratios['pcie']:.0f})")
+    return "\n\n".join([t1, t2, t3])
+
+
+def test_whatif_nextgen(benchmark, testbed):
+    skew, path3, bf3_rows, ratios = benchmark(generate, testbed)
+    emit("\n" + report(skew, path3, bf3_rows, ratios))
+
+    # CCI: the anomaly disappears (>3x the floor).
+    assert skew["BF2 + CCI"] > 3 * skew["BF2 (no CCI)"]
+    # CXL: beats today's ceiling.
+    assert path3["CXL host<->SoC"] > path3["RDMA path-3 (today)"]
+    # BF3: doubles the healthy numbers, keeps the anomalies.
+    net_b2, net_b3 = bf3_rows["network Gbps (16 KB READ)"]
+    assert net_b3 == pytest.approx(2 * net_b2, rel=0.02)
+    floor_b2, floor_b3 = bf3_rows["skew floor M reqs/s"]
+    assert floor_b3 == pytest.approx(floor_b2, rel=0.01)
+    budget_b2, budget_b3 = bf3_rows["path-3 budget Gbps"]
+    assert budget_b3 == pytest.approx(112.0)
+
+
+if __name__ == "__main__":
+    from repro.net.topology import paper_testbed
+
+    emit(report(*generate(paper_testbed())))

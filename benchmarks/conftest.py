@@ -1,0 +1,24 @@
+"""Shared fixtures and reporting helpers for the figure benchmarks.
+
+Every ``bench_fig*.py`` regenerates one table or figure of the paper:
+it computes the series, prints it in a paper-style table (visible with
+``pytest benchmarks/ --benchmark-only -s`` or when running the module
+directly), asserts the qualitative shape, and times the generation via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.topology import paper_testbed
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    return paper_testbed()
+
+
+def emit(text: str) -> None:
+    """Print a report (visible with ``-s`` or in __main__ runs)."""
+    print(text)

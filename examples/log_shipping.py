@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Log shipping under the §4 budget rule, measured on the simulation.
+
+Clients stream WRITEs into a host log while an SoC-side shipper pulls
+segments over path ③.  Compares an unthrottled shipper against one
+budgeted at P − N (56 Gbps) — the client-visible cost of ignoring the
+rule, end to end.
+
+Run:  python examples/log_shipping.py
+"""
+
+from repro import paper_testbed
+from repro.apps import LogShipper, WriterStats, client_writer
+from repro.core.report import format_table
+from repro.net.cluster import SimCluster
+from repro.rdma import RdmaContext
+from repro.units import KB, MB, to_gbps
+
+LOG_BYTES = 16 * MB
+WRITES = 60
+WRITE_PAYLOAD = 64 * KB
+
+
+def run(budget_gbps):
+    cluster = SimCluster(paper_testbed())
+    ctx = RdmaContext(cluster)
+    host_log = ctx.reg_mr("host", LOG_BYTES)
+    sim = cluster.sim
+
+    stats = WriterStats()
+    writer = sim.process(client_writer(ctx, "client0", host_log,
+                                       payload=WRITE_PAYLOAD, count=WRITES,
+                                       stats=stats))
+    finished = {}
+    writer.add_callback(lambda _e: finished.setdefault("at", sim.now))
+
+    shipper = LogShipper(ctx, host_log, segment_bytes=1 * MB,
+                         budget_gbps=budget_gbps)
+    shipping = sim.process(shipper.ship(LOG_BYTES))
+    sim.run()
+    assert writer.ok and shipping.ok
+
+    writer_gbps = to_gbps(stats.goodput(finished["at"]))
+    ship_gbps = to_gbps(shipper.stats.goodput(sim.now))
+    return writer_gbps, ship_gbps, shipper.stats.throttle_waits
+
+
+def main() -> None:
+    rows = []
+    for label, budget in [("no shipper", None), ("budgeted 56 Gbps", 56.0),
+                          ("budgeted 10 Gbps", 10.0),
+                          ("unbudgeted", "unlimited")]:
+        if label == "no shipper":
+            cluster = SimCluster(paper_testbed())
+            ctx = RdmaContext(cluster)
+            host_log = ctx.reg_mr("host", LOG_BYTES)
+            stats = WriterStats()
+            proc = cluster.sim.process(client_writer(
+                ctx, "client0", host_log, payload=WRITE_PAYLOAD,
+                count=WRITES, stats=stats))
+            cluster.sim.run()
+            assert proc.ok
+            rows.append([label, f"{to_gbps(stats.goodput(cluster.sim.now)):.1f}",
+                         "-", "-"])
+            continue
+        writer_gbps, ship_gbps, waits = run(
+            None if budget == "unlimited" else budget)
+        rows.append([label, f"{writer_gbps:.1f}", f"{ship_gbps:.1f}",
+                     str(waits)])
+    print(format_table(
+        ["shipper configuration", "client writes Gbps", "shipped Gbps",
+         "throttle waits"],
+        rows, title="S4 budget rule on the log-shipping pipeline"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize the SmartNIC's communication paths.
+
+Builds the paper's testbed (Table 2), then asks the three questions the
+study answers for every path: what latency, what peak throughput, and
+where is the bottleneck.  Finishes with the offload advisor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Advisor,
+    CommPath,
+    Flow,
+    LatencyModel,
+    Opcode,
+    Scenario,
+    ThroughputSolver,
+    WorkloadProfile,
+    paper_testbed,
+)
+from repro.core.report import format_table
+from repro.units import KB
+
+
+def main() -> None:
+    testbed = paper_testbed()
+    latency = LatencyModel(testbed)
+    solver = ThroughputSolver()
+
+    print("=== Latency of a 64 B request (Fig 4 upper) ===")
+    rows = []
+    for path in CommPath:
+        row = [path.label]
+        for op in Opcode:
+            row.append(f"{latency.latency(path, op, 64).total_us:.2f}")
+        rows.append(row)
+    print(format_table(["path", "READ us", "WRITE us", "SEND us"], rows))
+
+    print("\n=== Peak throughput of 64 B requests (Fig 4 lower) ===")
+    rows = []
+    for path in CommPath:
+        row = [path.label]
+        requesters = 24 if path.intra_machine else 11
+        for op in Opcode:
+            result = solver.solve(Scenario(testbed, [
+                Flow(path=path, op=op, payload=64, requesters=requesters)]))
+            row.append(f"{result.mrps_of(0):.1f}")
+        bottleneck = solver.solve(Scenario(testbed, [
+            Flow(path=path, op=Opcode.READ, payload=64,
+                 requesters=requesters)])).bottlenecks[0]
+        row.append(bottleneck)
+        rows.append(row)
+    print(format_table(
+        ["path", "READ M/s", "WRITE M/s", "SEND M/s", "READ bottleneck"],
+        rows))
+
+    print("\n=== Advisor: a uniform 256 B read-mostly workload ===")
+    plan = Advisor(testbed).plan(WorkloadProfile(
+        payload=256, read_fraction=0.9, working_set_bytes=8 << 30))
+    print(f"one-sided traffic -> {plan.one_sided_path.label}")
+    for advice in plan.advice:
+        print(f"  [{advice.ref}] {advice.summary}")
+
+    print("\n=== Advisor: 32 MB bulk transfers with host<->SoC staging ===")
+    plan = Advisor(testbed).plan(WorkloadProfile(
+        payload=32 << 20, working_set_bytes=2 << 30, host_soc_transfer=True))
+    print(f"segment to {plan.segment_bytes} B; "
+          f"path-3 budget {plan.path3_budget_gbps:.0f} Gbps")
+    for advice in plan.advice:
+        print(f"  [{advice.ref}] {advice.summary}")
+
+
+if __name__ == "__main__":
+    main()

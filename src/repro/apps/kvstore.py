@@ -1,0 +1,217 @@
+"""A distributed in-memory key-value store (the Fig 1 motivation).
+
+The server lays its state out in one registered region so one-sided
+clients can navigate it remotely:
+
+* a hash index of fixed 64 B buckets (key fingerprint, value offset,
+  value length), followed by
+* a bump-allocated value log.
+
+Two client strategies reproduce Fig 1:
+
+* :class:`OneSidedKVClient` — *(a)*: a ``get`` costs one READ for the
+  bucket and a second READ for the value: **network amplification**.
+* :class:`OffloadedKVClient` — *(b)*: the store lives in SoC memory and
+  a SoC-side handler answers a single RPC per ``get``; one round trip.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from repro.rdma.mr import MemoryRegion
+from repro.rdma.qp import QPType, QueuePair
+from repro.rdma.verbs import RdmaContext
+from repro.sim.monitor import Histogram
+
+# Bucket layout: 8 B key fingerprint | 4 B value offset | 4 B value
+# length | 48 B padding (one cache line per bucket).
+_BUCKET = struct.Struct("<QII")
+BUCKET_BYTES = 64
+_FP_EMPTY = 0
+
+
+def _fingerprint(key: bytes) -> int:
+    """A 64-bit non-zero key fingerprint."""
+    fp = hash(key) & 0xFFFFFFFFFFFFFFFF
+    return fp or 1
+
+
+class KVStoreFullError(Exception):
+    """The value log or index ran out of space."""
+
+
+class KVServer:
+    """The server-side store living inside one registered region."""
+
+    def __init__(self, ctx: RdmaContext, node_name: str,
+                 n_buckets: int = 1024, log_bytes: int = 1 << 20):
+        if n_buckets < 1 or n_buckets & (n_buckets - 1):
+            raise ValueError(f"n_buckets must be a power of two: {n_buckets}")
+        self.ctx = ctx
+        self.node_name = node_name
+        self.n_buckets = n_buckets
+        self.index_bytes = n_buckets * BUCKET_BYTES
+        self.mr: MemoryRegion = ctx.reg_mr(node_name,
+                                           self.index_bytes + log_bytes)
+        self._log_head = self.index_bytes
+        self._keys: Dict[bytes, int] = {}   # key -> bucket id (server-side)
+
+    # -- layout helpers ------------------------------------------------------------
+
+    def bucket_offset(self, bucket_id: int) -> int:
+        return bucket_id * BUCKET_BYTES
+
+    def bucket_of(self, key: bytes) -> int:
+        return _fingerprint(key) & (self.n_buckets - 1)
+
+    # -- server-side operations ------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update a key (executed by the server's CPU)."""
+        if not key:
+            raise ValueError("empty key")
+        if self._log_head + len(value) > self.mr.length:
+            raise KVStoreFullError("value log exhausted")
+        bucket = self.bucket_of(key)
+        existing = self._keys.get(key)
+        if existing is not None and existing != bucket:
+            raise AssertionError("key moved buckets")  # pragma: no cover
+        offset = self._log_head
+        self.mr.write_local(offset, value)
+        self._log_head += len(value)
+        header = _BUCKET.pack(_fingerprint(key), offset, len(value))
+        self.mr.write_local(self.bucket_offset(bucket), header)
+        self._keys[key] = bucket
+
+    def get_local(self, key: bytes) -> Optional[bytes]:
+        """Server-side lookup (used by the SoC handler)."""
+        bucket = self.bucket_of(key)
+        raw = self.mr.read_local(self.bucket_offset(bucket), _BUCKET.size)
+        fp, offset, length = _BUCKET.unpack(raw)
+        if fp != _fingerprint(key) or fp == _FP_EMPTY:
+            return None
+        return self.mr.read_local(offset, length)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+@dataclass
+class GetStats:
+    """Client-side accounting of get traffic."""
+
+    gets: int = 0
+    misses: int = 0
+    network_round_trips: int = 0
+    latency: Histogram = field(default_factory=Histogram)
+
+    @property
+    def round_trips_per_get(self) -> float:
+        return self.network_round_trips / self.gets if self.gets else 0.0
+
+
+class OneSidedKVClient:
+    """Fig 1(a): gets via one-sided READs — index READ, then value READ."""
+
+    def __init__(self, ctx: RdmaContext, client_name: str, server: KVServer):
+        self.ctx = ctx
+        self.server = server
+        self.qp, _ = ctx.connect_rc(client_name, server.node_name)
+        self.scratch = ctx.reg_mr(client_name, 1 << 16)
+        self.stats = GetStats()
+        self._wr = 0
+
+    def get(self, key: bytes) -> Generator:
+        """A process generator: yields until the value is local.
+
+        Returns the value bytes (or ``None`` on miss).  Run it with
+        ``cluster.sim.process(client.get(key))``.
+        """
+        sim = self.qp.sim
+        start = sim.now
+        bucket = self.server.bucket_of(key)
+        # Round trip 1: READ the bucket header.
+        self._wr += 1
+        yield self.qp.post_read(
+            self._wr, self.scratch, self.server.mr, _BUCKET.size,
+            local_offset=0, remote_offset=self.server.bucket_offset(bucket))
+        fp, offset, length = _BUCKET.unpack(
+            self.scratch.read_local(0, _BUCKET.size))
+        self.stats.network_round_trips += 1
+        self.stats.gets += 1
+        if fp != _fingerprint(key) or fp == _FP_EMPTY:
+            self.stats.misses += 1
+            self.stats.latency.record(sim.now - start)
+            return None
+        # Round trip 2: READ the value.
+        self._wr += 1
+        yield self.qp.post_read(
+            self._wr, self.scratch, self.server.mr, length,
+            local_offset=64, remote_offset=offset)
+        self.stats.network_round_trips += 1
+        self.stats.latency.record(sim.now - start)
+        return self.scratch.read_local(64, length)
+
+
+class OffloadedKVClient:
+    """Fig 1(b): gets via a single RPC to a SoC-side handler.
+
+    The handler looks the key up locally in SoC memory and replies with
+    the value — one network round trip, no amplification.
+    """
+
+    SERVICE_OVERHEAD_NS = 300.0  # SoC handler: parse + hash + reply post
+
+    def __init__(self, ctx: RdmaContext, client_name: str, server: KVServer):
+        if ctx.cluster.node(server.node_name).kind != "soc":
+            raise ValueError("offloaded store must live in SoC memory")
+        self.ctx = ctx
+        self.server = server
+        self.qp = ctx.create_qp(client_name, QPType.UD)
+        self.server_qp = ctx.create_qp(server.node_name, QPType.UD)
+        self.recv_mr = ctx.reg_mr(client_name, 1 << 16)
+        self.server_recv_mr = ctx.reg_mr(server.node_name, 1 << 16)
+        self.stats = GetStats()
+        self._wr = 0
+        self._start_handler()
+
+    def _start_handler(self) -> None:
+        sim = self.qp.sim
+        soc_cpu = self.ctx.cluster.node(self.server.node_name).cpu
+
+        def handler():
+            while True:
+                completion = yield self.server_qp.recv_cq.wait()
+                key = self.server_recv_mr.read_local(0, completion.byte_len)
+                src = QueuePair.by_qpn(self.server_qp.inbound_sources.popleft())
+                # Local lookup on the SoC cores.
+                yield sim.timeout(self.SERVICE_OVERHEAD_NS)
+                value = self.server.get_local(key)
+                reply = b"\x00" if value is None else b"\x01" + value
+                self.server_qp.post_recv(0, self.server_recv_mr)
+                yield self.server_qp.post_send(0, reply, dest=src,
+                                               signaled=False)
+
+        self.server_qp.post_recv(0, self.server_recv_mr)
+        sim.process(handler())
+
+    def get(self, key: bytes) -> Generator:
+        """A process generator performing one RPC get."""
+        sim = self.qp.sim
+        start = sim.now
+        self._wr += 1
+        self.qp.post_recv(self._wr, self.recv_mr)
+        yield self.qp.post_send(self._wr, key, dest=self.server_qp,
+                                signaled=False)
+        completion = yield self.qp.recv_cq.wait()
+        self.stats.gets += 1
+        self.stats.network_round_trips += 1
+        self.stats.latency.record(sim.now - start)
+        payload = self.recv_mr.read_local(0, completion.byte_len)
+        if payload[:1] == b"\x00":
+            self.stats.misses += 1
+            return None
+        return payload[1:]

@@ -1,0 +1,146 @@
+"""Log shipping with a budgeted path ③ — the §4 rule as an application.
+
+A replication pipeline many RDMA systems run: clients stream WRITEs into
+a host-resident log (path ①) while an offloaded shipper on the SoC pulls
+committed segments into SoC memory (path ③) for compression / remote
+replication.  Path ③ crosses PCIe1 twice, so an unthrottled shipper
+steals bandwidth from the clients; the §4 rule says to cap it at
+``P - N`` (56 Gbps on Bluefield-2).
+
+:class:`LogShipper` implements the pull loop with a token-bucket rate
+limiter so both configurations can be measured on the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.rdma.mr import MemoryRegion
+from repro.rdma.verbs import RdmaContext
+from repro.units import MB, gbps
+
+
+@dataclass
+class ShipStats:
+    """Outcome of a shipping run."""
+
+    shipped_bytes: int = 0
+    segments: int = 0
+    throttle_waits: int = 0
+
+    def goodput(self, elapsed_ns: float) -> float:
+        return self.shipped_bytes / elapsed_ns if elapsed_ns else 0.0
+
+
+class TokenBucket:
+    """A byte-rate limiter for simulation processes.
+
+    ``rate`` is bytes/ns; ``burst`` bytes may be consumed instantly.
+    ``delay_for(nbytes, now)`` returns how long the caller must wait
+    before consuming ``nbytes``.
+    """
+
+    def __init__(self, rate: float, burst: int):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._last = 0.0
+
+    def delay_for(self, nbytes: int, now: float) -> float:
+        if nbytes < 0:
+            raise ValueError(f"negative consumption: {nbytes}")
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last = max(now, self._last)
+        if nbytes <= self._tokens:
+            self._tokens -= nbytes
+            return 0.0
+        deficit = nbytes - self._tokens
+        wait = deficit / self.rate
+        # The consumption completes after the wait; account the refill
+        # up to that instant as spent.
+        self._tokens = 0.0
+        self._last += wait
+        return wait
+
+
+class LogShipper:
+    """Pulls host log segments into SoC memory at a budgeted rate."""
+
+    def __init__(self, ctx: RdmaContext, host_log: MemoryRegion,
+                 segment_bytes: int = 1 * MB,
+                 budget_gbps: Optional[float] = 56.0,
+                 compress_ns_per_kb: float = 0.0):
+        if segment_bytes <= 0:
+            raise ValueError(f"bad segment size: {segment_bytes}")
+        if budget_gbps is not None and budget_gbps <= 0:
+            raise ValueError(f"bad budget: {budget_gbps}")
+        if compress_ns_per_kb < 0:
+            raise ValueError("negative compute cost")
+        self.ctx = ctx
+        self.host_log = host_log
+        self.segment_bytes = segment_bytes
+        self.compress_ns_per_kb = compress_ns_per_kb
+        self.qp, _ = ctx.connect_rc("soc", "host")
+        self.staging = ctx.reg_mr("soc", segment_bytes)
+        self.stats = ShipStats()
+        self._bucket = (None if budget_gbps is None
+                        else TokenBucket(gbps(budget_gbps),
+                                         burst=segment_bytes))
+
+    def ship(self, nbytes: int) -> Generator:
+        """A process generator: ship ``nbytes`` of log, oldest first."""
+        if nbytes <= 0:
+            raise ValueError(f"nothing to ship: {nbytes}")
+        if nbytes > self.host_log.length:
+            raise ValueError("shipping more than the log holds")
+        sim = self.ctx.cluster.sim
+        offset = 0
+        wr = 0
+        while offset < nbytes:
+            size = min(self.segment_bytes, nbytes - offset)
+            if self._bucket is not None:
+                delay = self._bucket.delay_for(size, sim.now)
+                if delay > 0:
+                    self.stats.throttle_waits += 1
+                    yield sim.timeout(delay)
+            wr += 1
+            yield self.qp.post_read(wr, self.staging, self.host_log, size,
+                                    local_offset=0, remote_offset=offset)
+            if self.compress_ns_per_kb:
+                yield sim.timeout(self.compress_ns_per_kb * size / 1024)
+            self.stats.shipped_bytes += size
+            self.stats.segments += 1
+            offset += size
+        return self.stats
+
+
+@dataclass
+class WriterStats:
+    """Client-side accounting for the competing write stream."""
+
+    writes: int = 0
+    bytes_written: int = 0
+
+    def goodput(self, elapsed_ns: float) -> float:
+        return self.bytes_written / elapsed_ns if elapsed_ns else 0.0
+
+
+def client_writer(ctx: RdmaContext, client_name: str,
+                  host_log: MemoryRegion, payload: int, count: int,
+                  stats: WriterStats) -> Generator:
+    """A client streaming ``count`` WRITEs of ``payload`` into the log."""
+    if payload <= 0 or count <= 0:
+        raise ValueError("payload and count must be positive")
+    qp, _ = ctx.connect_rc(client_name, "host")
+    scratch = ctx.reg_mr(client_name, payload)
+    log_slots = host_log.length // payload
+    for i in range(count):
+        offset = (i % log_slots) * payload
+        yield qp.post_write(i, scratch, host_log, payload,
+                            remote_offset=offset, signaled=False)
+        stats.writes += 1
+        stats.bytes_written += payload

@@ -1,0 +1,141 @@
+"""A replicated key-value store across two SmartNIC servers.
+
+The capstone scenario for the paper's advice, combining every path:
+
+* **puts** land in the primary store on server 0's host (path ①-style
+  service),
+* a **shipper** offloaded to server 0's SoC pulls committed entries
+  from host memory over path ③ — budgeted at ``P − N`` per the §4 rule —
+  and forwards them to the peer SoC over the fabric,
+* an **applier** on server 1's SoC installs entries into a replica
+  store living in SoC memory, from which clients read via single-RPC
+  offloaded gets (Fig 1(b)).
+
+The replication lag it reports is the end-to-end cost of the pipeline
+the advice shapes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.apps.kvstore import KVServer
+from repro.apps.logship import TokenBucket
+from repro.rdma.verbs import RdmaContext
+from repro.sim.monitor import Histogram
+from repro.sim.resources import Store
+from repro.units import MB, gbps
+
+_ENTRY = struct.Struct("<IIQ")  # key length, value length, put timestamp
+
+
+class ReplicationLogFullError(Exception):
+    """The primary's replication log wrapped into unshipped entries."""
+
+
+@dataclass
+class ReplicationStats:
+    puts: int = 0
+    shipped: int = 0
+    applied: int = 0
+    lag: Histogram = field(default_factory=Histogram)
+
+    @property
+    def pending(self) -> int:
+        return self.puts - self.applied
+
+
+class ReplicatedKV:
+    """Primary on server 0's host, replica on server 1's SoC."""
+
+    def __init__(self, ctx: RdmaContext, log_bytes: int = 4 * MB,
+                 budget_gbps: Optional[float] = 56.0,
+                 n_buckets: int = 4096):
+        cluster = ctx.cluster
+        if "soc1" not in cluster.nodes:
+            raise ValueError("replicated KV needs a two-server cluster "
+                             "(SimCluster(..., n_servers=2))")
+        self.ctx = ctx
+        self.sim = cluster.sim
+        self.primary = KVServer(ctx, "host", n_buckets=n_buckets)
+        self.replica = KVServer(ctx, "soc1", n_buckets=n_buckets)
+        self.stats = ReplicationStats()
+
+        # The replication log in host memory, pulled by the shipper.
+        self.log = ctx.reg_mr("host", log_bytes)
+        self._log_head = 0
+        self._pending: Store = Store(self.sim)
+        self._unshipped_bytes = 0
+
+        # Shipper: server 0's SoC pulls entries over path 3 (budgeted)
+        # and relays them to the peer SoC over the fabric.
+        self._staging = ctx.reg_mr("soc", 64 << 10)
+        self._path3_qp, _ = ctx.connect_rc("soc", "host")
+        self._relay_qp, self._applier_qp = ctx.connect_rc("soc", "soc1")
+        self._applier_mr = ctx.reg_mr("soc1", 64 << 10)
+        self._bucket = (None if budget_gbps is None
+                        else TokenBucket(gbps(budget_gbps), burst=8 << 10))
+        self.sim.process(self._shipper())
+        self.sim.process(self._applier())
+
+    # -- primary-side operations ----------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Apply a put on the primary and queue it for replication."""
+        entry = _ENTRY.pack(len(key), len(value), int(self.sim.now)) + key + value
+        if self._log_head + len(entry) > self.log.length:
+            if self._unshipped_bytes > 0:
+                raise ReplicationLogFullError(
+                    "log wrapped while entries were still unshipped")
+            self._log_head = 0
+        self.primary.put(key, value)
+        offset = self._log_head
+        self.log.write_local(offset, entry)
+        self._log_head += len(entry)
+        self._unshipped_bytes += len(entry)
+        self.stats.puts += 1
+        self._pending.put((offset, len(entry), self.sim.now))
+
+    # -- pipeline processes -------------------------------------------------------------
+
+    def _shipper(self) -> Generator:
+        wr = 0
+        while True:
+            offset, length, _put_at = yield self._pending.get()
+            if self._bucket is not None:
+                delay = self._bucket.delay_for(length, self.sim.now)
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+            wr += 1
+            # Path 3: pull the entry from host memory into SoC staging.
+            yield self._path3_qp.post_read(wr, self._staging, self.log,
+                                           length, local_offset=0,
+                                           remote_offset=offset)
+            self._unshipped_bytes -= length
+            payload = self._staging.read_local(0, length)
+            self.stats.shipped += 1
+            # Fabric: relay to the peer SoC.
+            self._applier_qp.post_recv(wr, self._applier_mr)
+            yield self._relay_qp.post_send(wr, payload, signaled=False)
+
+    def _applier(self) -> Generator:
+        while True:
+            completion = yield self._applier_qp.recv_cq.wait()
+            raw = self._applier_mr.read_local(0, completion.byte_len)
+            key_len, value_len, put_at = _ENTRY.unpack(raw[:_ENTRY.size])
+            body = raw[_ENTRY.size:]
+            key = body[:key_len]
+            value = body[key_len:key_len + value_len]
+            self.replica.put(key, value)
+            self.stats.applied += 1
+            self.stats.lag.record(self.sim.now - put_at)
+
+    # -- convenience --------------------------------------------------------------------
+
+    def wait_replicated(self) -> Generator:
+        """A process generator that returns once the replica caught up."""
+        while self.stats.pending > 0:
+            yield self.sim.timeout(1000.0)
+        return self.stats

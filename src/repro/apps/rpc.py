@@ -1,0 +1,95 @@
+"""A two-sided RPC service over UD QPs (the Fig 4 SEND/RECV responder).
+
+The server posts receive buffers, serves each inbound message after a
+CPU service time, and replies to the sender.  The client issues
+request-response calls and records latency — the echo microbenchmark of
+the paper's two-sided rows.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.rdma.qp import QPType, QueuePair
+from repro.rdma.verbs import RdmaContext
+from repro.sim.monitor import Histogram
+
+_HEADER = struct.Struct("<I")  # request id
+
+
+@dataclass
+class RpcStats:
+    served: int = 0
+    calls: int = 0
+    latency: Histogram = field(default_factory=Histogram)
+
+
+class RpcServer:
+    """Serves RPCs on one node with a configurable handler."""
+
+    def __init__(self, ctx: RdmaContext, node_name: str,
+                 handler: Optional[Callable[[bytes], bytes]] = None,
+                 recv_depth: int = 256, buf_bytes: int = 1 << 16):
+        self.ctx = ctx
+        self.node = ctx.cluster.node(node_name)
+        self.qp = ctx.create_qp(node_name, QPType.UD)
+        self.mr = ctx.reg_mr(node_name, buf_bytes)
+        self.handler = handler or (lambda request: request)  # echo
+        self.stats = RpcStats()
+        self._service_ns = self.node.cpu.two_sided_latency_ns
+        for _ in range(recv_depth):
+            self.qp.post_recv(0, self.mr)
+        ctx.cluster.sim.process(self._serve())
+
+    @property
+    def service_ns(self) -> float:
+        """Per-message CPU service time (from the node's CPU model)."""
+        return self._service_ns
+
+    def _serve(self) -> Generator:
+        sim = self.ctx.cluster.sim
+        while True:
+            completion = yield self.qp.recv_cq.wait()
+            request = self.mr.read_local(0, completion.byte_len)
+            source = QueuePair.by_qpn(self.qp.inbound_sources.popleft())
+            yield sim.timeout(self._service_ns)
+            header, body = request[:_HEADER.size], request[_HEADER.size:]
+            response = header + self.handler(body)
+            self.qp.post_recv(0, self.mr)
+            self.stats.served += 1
+            yield self.qp.post_send(0, response, dest=source, signaled=False)
+
+
+class RpcClient:
+    """Issues request-response calls against an :class:`RpcServer`."""
+
+    def __init__(self, ctx: RdmaContext, node_name: str, server: RpcServer,
+                 buf_bytes: int = 1 << 16):
+        self.ctx = ctx
+        self.server = server
+        self.qp = ctx.create_qp(node_name, QPType.UD)
+        self.mr = ctx.reg_mr(node_name, buf_bytes)
+        self.stats = RpcStats()
+        self._next_id = 0
+
+    def call(self, payload: bytes) -> Generator:
+        """A process generator performing one RPC; returns the response."""
+        sim = self.ctx.cluster.sim
+        start = sim.now
+        self._next_id += 1
+        request_id = self._next_id
+        self.qp.post_recv(request_id, self.mr)
+        message = _HEADER.pack(request_id) + payload
+        yield self.qp.post_send(request_id, message, dest=self.server.qp,
+                                signaled=False)
+        completion = yield self.qp.recv_cq.wait()
+        response = self.mr.read_local(0, completion.byte_len)
+        (echoed_id,) = _HEADER.unpack(response[:_HEADER.size])
+        if echoed_id != request_id:
+            raise RuntimeError(
+                f"out-of-order RPC response: {echoed_id} != {request_id}")
+        self.stats.calls += 1
+        self.stats.latency.record(sim.now - start)
+        return response[_HEADER.size:]

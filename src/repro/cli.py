@@ -1,0 +1,407 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``paths`` — describe the communication paths.
+* ``latency`` — end-to-end latency of one request shape.
+* ``throughput`` — peak throughput and the binding resource.
+* ``sweep`` — regenerate a figure's series (fig4/fig7/fig8/fig9/fig10/fig11).
+* ``compare`` — RNIC-vs-SmartNIC summary for any catalog device.
+* ``advise`` — run the offload advisor on a workload profile.
+* ``audit`` — run the anomaly detectors over flows described in JSON.
+* ``trace-gen`` / ``trace-solve`` — generate a JSONL request trace and
+  solve its aggregate throughput.
+
+``compare`` accepts ``--nic`` to pick a catalog device
+(bluefield-2 default, bluefield-3, stingray-ps225).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.advisor import Advisor, WorkloadProfile
+from repro.core.anomalies import detect_all
+from repro.core.bench import LatencyBench, ThroughputBench
+from repro.core.latency import LatencyModel
+from repro.core.paths import CommPath, Opcode
+from repro.core.plot import plot_sweeps
+from repro.core.report import format_table
+from repro.core.throughput import Flow, Scenario, ThroughputSolver
+from repro.net.topology import paper_testbed
+from repro.nic.catalog import CATALOG, lookup
+from repro.nic.smartnic import SmartNIC
+from repro.units import GB, fmt_size
+from repro.workloads import (
+    FIG4_PAYLOADS,
+    FIG7_RANGES,
+    FIG8_PAYLOADS,
+    FIG9_PAYLOADS,
+    FIG10_BATCHES,
+    FIG11_MACHINES,
+)
+
+_PATHS = {p.value: p for p in CommPath}
+_PATHS.update({p.name.lower(): p for p in CommPath})
+_OPS = {o.value: o for o in Opcode}
+
+
+def _parse_size(text: str) -> int:
+    """Parse ``64``, ``4K``, ``9M``, ``10G`` into bytes."""
+    text = text.strip().upper().rstrip("B")
+    multiplier = 1
+    for suffix, value in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if text.endswith(suffix):
+            multiplier = value
+            text = text[:-1]
+            break
+    try:
+        return int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size: {text!r}")
+
+
+def _path(text: str) -> CommPath:
+    key = text.lower().replace("_", "-")
+    try:
+        return _PATHS.get(key) or _PATHS[key.replace("-", "_")]
+    except KeyError:
+        choices = ", ".join(sorted({p.value for p in CommPath}))
+        raise argparse.ArgumentTypeError(
+            f"unknown path {text!r}; choose from {choices}")
+
+
+def _op(text: str) -> Opcode:
+    try:
+        return _OPS[text.lower()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(f"unknown op {text!r}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Off-path SmartNIC characterization (OSDI'23), in simulation")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("paths", help="describe the communication paths")
+
+    for name in ("latency", "throughput"):
+        p = sub.add_parser(name, help=f"{name} of one request shape")
+        p.add_argument("--path", type=_path, default=CommPath.SNIC1)
+        p.add_argument("--op", type=_op, default=Opcode.READ)
+        p.add_argument("--payload", type=_parse_size, default="64")
+        if name == "throughput":
+            p.add_argument("--requesters", type=int, default=11)
+            p.add_argument("--range", dest="range_bytes", type=_parse_size,
+                           default=str(10 * GB))
+            p.add_argument("--doorbell-batch", type=int, default=1)
+
+    p = sub.add_parser("sweep", help="regenerate a figure's series")
+    p.add_argument("figure", choices=["fig4", "fig7", "fig8", "fig9",
+                                      "fig10", "fig11"])
+    p.add_argument("--plot", action="store_true",
+                   help="render an ASCII chart instead of a table")
+
+    p = sub.add_parser("compare", help="RNIC vs SmartNIC summary")
+    p.add_argument("--nic", choices=sorted(CATALOG), default="bluefield-2")
+
+    p = sub.add_parser("advise", help="offload advisor for a workload")
+    p.add_argument("--payload", type=_parse_size, required=True)
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--two-sided-fraction", type=float, default=0.0)
+    p.add_argument("--working-set", type=_parse_size, default=str(10 * GB))
+    p.add_argument("--hot-range", type=_parse_size, default=None)
+    p.add_argument("--host-soc-transfer", action="store_true")
+
+    p = sub.add_parser("audit", help="anomaly audit over flows (JSON)")
+    p.add_argument("flows_json",
+                   help="path to a JSON list of flow objects, or '-' for stdin")
+
+    p = sub.add_parser("trace-gen", help="generate a JSONL request trace")
+    p.add_argument("out", help="output path")
+    p.add_argument("--path", type=_path, default=CommPath.SNIC2)
+    p.add_argument("--count", type=int, default=1000)
+    p.add_argument("--payload", type=_parse_size, default="256")
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--region", type=_parse_size, default="64M")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("trace-solve",
+                       help="peak throughput of a JSONL trace's mix")
+    p.add_argument("trace", help="trace path")
+    p.add_argument("--requesters", type=int, default=11)
+    return parser
+
+
+# -- command implementations -----------------------------------------------------
+
+
+def _cmd_paths(args) -> str:
+    rows = []
+    for path in CommPath:
+        ends = path.ends
+        rows.append([path.value, path.label, ends.requester,
+                     ends.responder.value,
+                     "network" if path.uses_network else "internal PCIe"])
+    return format_table(
+        ["id", "paper label", "requester", "responder memory", "medium"],
+        rows, title="Communication paths (Fig 2)")
+
+
+def _cmd_latency(args) -> str:
+    model = LatencyModel(paper_testbed())
+    breakdown = model.latency(args.path, args.op, args.payload)
+    rows = [[name, f"{value:.0f}"] for name, value in breakdown.segments]
+    rows.append(["TOTAL", f"{breakdown.total:.0f}"])
+    return format_table(
+        ["segment", "ns"], rows,
+        title=f"{args.path.label} {args.op.value.upper()} "
+              f"{fmt_size(args.payload)}: {breakdown.total_us:.2f} us")
+
+
+def _cmd_throughput(args) -> str:
+    flow = Flow(path=args.path, op=args.op, payload=args.payload,
+                requesters=args.requesters, range_bytes=args.range_bytes,
+                doorbell_batch=args.doorbell_batch)
+    result = ThroughputSolver().solve(Scenario(paper_testbed(), [flow]))
+    rows = [
+        ["request rate", f"{result.mrps_of(0):.1f} M reqs/s"],
+        ["payload bandwidth", f"{result.gbps_of(0):.1f} Gbps"],
+        ["bottleneck", result.bottlenecks[0]],
+    ]
+    return format_table(["metric", "value"], rows, title=flow.name)
+
+
+def _cmd_compare(args) -> str:
+    from dataclasses import replace as _replace
+
+    from repro.nic.rnic import RNIC
+    from repro.nic.specs import RNICSpec
+
+    spec = lookup(args.nic)
+    # The paper's methodology: the RNIC baseline shares the SmartNIC's
+    # NIC cores (Bluefield-2 vs ConnectX-6), so build a matched one.
+    baseline = RNICSpec(name=f"{args.nic}-rnic-baseline", cores=spec.cores)
+    testbed = _replace(paper_testbed(), snic=SmartNIC(spec),
+                       rnic=RNIC(baseline))
+    latency = LatencyModel(testbed)
+    solver = ThroughputSolver()
+    rows = []
+    for op in Opcode:
+        rnic_lat = latency.latency(CommPath.RNIC1, op, 64).total_us
+        snic_lat = latency.latency(CommPath.SNIC1, op, 64).total_us
+        rnic_tp = solver.solve(Scenario(testbed, [
+            Flow(CommPath.RNIC1, op, 64)])).mrps_of(0)
+        snic_tp = solver.solve(Scenario(testbed, [
+            Flow(CommPath.SNIC1, op, 64)])).mrps_of(0)
+        rows.append([op.value.upper(), f"{rnic_lat:.2f}", f"{snic_lat:.2f}",
+                     f"{(snic_lat / rnic_lat - 1) * 100:+.0f}%",
+                     f"{rnic_tp:.1f}", f"{snic_tp:.1f}",
+                     f"{(snic_tp / rnic_tp - 1) * 100:+.0f}%"])
+    return format_table(
+        ["verb", "RNIC us", "SNIC us", "lat tax", "RNIC M/s", "SNIC M/s",
+         "tput tax"],
+        rows, title=f"64 B requests: the {args.nic} performance tax (S3.1)")
+
+
+def _cmd_sweep(args) -> str:
+    testbed = paper_testbed()
+    tp = ThroughputBench(testbed)
+    if getattr(args, "plot", False):
+        return _cmd_sweep_plot(args, testbed, tp)
+    if args.figure == "fig4":
+        lat = LatencyBench(testbed)
+        parts = [lat.payload_sweep(CommPath.SNIC1, Opcode.READ,
+                                   FIG4_PAYLOADS).table(
+                     "Fig 4 — SNIC1 READ latency (us)"),
+                 tp.payload_sweep(CommPath.SNIC1, Opcode.READ,
+                                  FIG4_PAYLOADS).table(
+                     "Fig 4 — SNIC1 READ peak throughput (M reqs/s)")]
+        return "\n\n".join(parts)
+    if args.figure == "fig7":
+        return tp.range_sweep(CommPath.SNIC2, Opcode.WRITE, 64, FIG7_RANGES,
+                              requesters=2).table(
+            "Fig 7 — WRITE to SoC vs address range (M reqs/s)")
+    if args.figure == "fig8":
+        return tp.payload_sweep(CommPath.SNIC2, Opcode.READ, FIG8_PAYLOADS,
+                                metric="gbps").table(
+            "Fig 8 — READ to SoC vs payload (Gbps)")
+    if args.figure == "fig9":
+        return tp.payload_sweep(CommPath.SNIC3_S2H, Opcode.WRITE,
+                                FIG9_PAYLOADS, requesters=8,
+                                metric="gbps").table(
+            "Fig 9 — SoC->host transfer bandwidth (Gbps)")
+    if args.figure == "fig10":
+        return tp.doorbell_sweep(CommPath.SNIC3_S2H, Opcode.READ, 0,
+                                 FIG10_BATCHES, requesters=8).table(
+            "Fig 10(b) — SoC-side doorbell batching (M reqs/s)")
+    return tp.requester_sweep(CommPath.SNIC1, Opcode.READ, 0,
+                              FIG11_MACHINES).table(
+        "Fig 11 — SNIC1 0 B READ vs requester machines (M reqs/s)")
+
+
+def _cmd_sweep_plot(args, testbed, tp) -> str:
+    if args.figure == "fig4":
+        sweeps = {p.label: ThroughputBench(testbed).payload_sweep(
+                      p, Opcode.READ, FIG4_PAYLOADS)
+                  for p in (CommPath.RNIC1, CommPath.SNIC1, CommPath.SNIC2)}
+        return plot_sweeps(sweeps, title="Fig 4 READ throughput (M reqs/s)",
+                           y_label="M/s")
+    if args.figure == "fig7":
+        sweeps = {op.value: tp.range_sweep(CommPath.SNIC2, op, 64,
+                                           FIG7_RANGES, requesters=2)
+                  for op in (Opcode.READ, Opcode.WRITE)}
+        return plot_sweeps(sweeps, title="Fig 7 SoC range sweep (M reqs/s)",
+                           y_label="M/s")
+    if args.figure == "fig8":
+        sweeps = {p.label: tp.payload_sweep(p, Opcode.READ, FIG8_PAYLOADS,
+                                            metric="gbps")
+                  for p in (CommPath.SNIC1, CommPath.SNIC2)}
+        return plot_sweeps(sweeps, title="Fig 8 large READs (Gbps)",
+                           y_label="Gbps")
+    if args.figure == "fig9":
+        sweeps = {"S2H": tp.payload_sweep(CommPath.SNIC3_S2H, Opcode.WRITE,
+                                          FIG9_PAYLOADS, requesters=8,
+                                          metric="gbps"),
+                  "H2S": tp.payload_sweep(CommPath.SNIC3_H2S, Opcode.WRITE,
+                                          FIG9_PAYLOADS, requesters=24,
+                                          metric="gbps")}
+        return plot_sweeps(sweeps, title="Fig 9 host<->SoC (Gbps)",
+                           y_label="Gbps")
+    if args.figure == "fig10":
+        sweeps = {"SoC side": tp.doorbell_sweep(CommPath.SNIC3_S2H,
+                                                Opcode.READ, 0,
+                                                FIG10_BATCHES, requesters=8),
+                  "host side": tp.doorbell_sweep(CommPath.SNIC3_H2S,
+                                                 Opcode.READ, 0,
+                                                 FIG10_BATCHES,
+                                                 requesters=24)}
+        return plot_sweeps(sweeps, log_x=False,
+                           title="Fig 10(b) doorbell batching (M reqs/s)",
+                           y_label="M/s")
+    sweeps = {p.label: tp.requester_sweep(p, Opcode.READ, 0, FIG11_MACHINES)
+              for p in (CommPath.SNIC1, CommPath.SNIC2)}
+    return plot_sweeps(sweeps, log_x=False,
+                       title="Fig 11 requester scaling (M reqs/s)",
+                       y_label="M/s")
+
+
+def _cmd_advise(args) -> str:
+    profile = WorkloadProfile(
+        payload=args.payload,
+        read_fraction=args.read_fraction,
+        two_sided_fraction=args.two_sided_fraction,
+        working_set_bytes=args.working_set,
+        hot_range_bytes=args.hot_range,
+        host_soc_transfer=args.host_soc_transfer,
+    )
+    plan = Advisor(paper_testbed()).plan(profile)
+    lines = [
+        f"one-sided traffic  -> {plan.one_sided_path.label}",
+        f"two-sided traffic  -> {plan.two_sided_path.label}",
+        f"segmentation       -> "
+        f"{fmt_size(plan.segment_bytes) if plan.segment_bytes else 'none'}",
+        f"doorbell batching  -> SoC side: "
+        f"{'on' if plan.doorbell_batching_soc_side else 'off'}, host side: "
+        f"{'on' if plan.doorbell_batching_host_side else 'off'}",
+        f"path-3 budget      -> {plan.path3_budget_gbps:.0f} Gbps",
+        "",
+    ]
+    for advice in plan.advice:
+        lines.append(f"[{advice.ref}] {advice.summary}")
+        lines.append(f"    {advice.rationale}")
+    return "\n".join(lines)
+
+
+def _cmd_audit(args) -> str:
+    if args.flows_json == "-":
+        raw = json.load(sys.stdin)
+    else:
+        with open(args.flows_json) as handle:
+            raw = json.load(handle)
+    flows = []
+    for item in raw:
+        flows.append(Flow(
+            path=_path(item["path"]),
+            op=_op(item["op"]),
+            payload=int(item["payload"]),
+            requesters=int(item.get("requesters", 11)),
+            range_bytes=float(item.get("range_bytes", 10 * GB)),
+            doorbell_batch=int(item.get("doorbell_batch", 1)),
+            weight=float(item.get("weight", 1.0)),
+            label=item.get("label", ""),
+        ))
+    report = detect_all(paper_testbed(), flows)
+    if report.clean:
+        return "no anomalies detected"
+    rows = [[a.kind, a.flow.label if a.flow else "(workload)",
+             f"{a.severity:.0%}", a.advice] for a in report]
+    return format_table(["anomaly", "flow", "vs healthy", "remedy"], rows,
+                        title=f"{len(report)} anomalies")
+
+
+def _cmd_trace_gen(args) -> str:
+    import random
+
+    from repro.hw.memory.address import AddressRegion
+    from repro.workloads import OpMix, RequestStream, UniformPattern
+    from repro.workloads.traces import Trace
+
+    if args.count < 1:
+        raise ValueError("count must be >= 1")
+    mix = OpMix(read=args.read_fraction, write=1.0 - args.read_fraction,
+                send=0.0)
+    pattern = UniformPattern(AddressRegion(0, args.region), args.payload,
+                             rng=random.Random(args.seed))
+    stream = RequestStream(mix, pattern, seed=args.seed)
+    trace = Trace.generate(stream, args.path, args.count)
+    with open(args.out, "w") as handle:
+        trace.dump(handle)
+    return (f"wrote {len(trace)} requests ({args.path.label}, "
+            f"{args.read_fraction:.0%} reads) to {args.out}")
+
+
+def _cmd_trace_solve(args) -> str:
+    from repro.workloads.traces import Trace
+
+    with open(args.trace) as handle:
+        trace = Trace.load(handle)
+    flows = trace.as_flows(requesters=args.requesters)
+    result = ThroughputSolver().solve(Scenario(paper_testbed(), flows))
+    rows = []
+    for i, flow in enumerate(flows):
+        rows.append([flow.label, f"{result.mrps_of(i):.1f}",
+                     f"{result.gbps_of(i):.1f}", result.bottlenecks[i]])
+    rows.append(["TOTAL", f"{result.total_mrps:.1f}",
+                 f"{result.total_gbps:.1f}", ""])
+    return format_table(["flow", "M reqs/s", "Gbps", "bottleneck"], rows,
+                        title=f"{len(trace)} traced requests, aggregated")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "paths": _cmd_paths,
+        "latency": _cmd_latency,
+        "throughput": _cmd_throughput,
+        "sweep": _cmd_sweep,
+        "compare": _cmd_compare,
+        "advise": _cmd_advise,
+        "audit": _cmd_audit,
+        "trace-gen": _cmd_trace_gen,
+        "trace-solve": _cmd_trace_solve,
+    }
+    try:
+        print(handlers[args.command](args))
+    except (ValueError, OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""The offloading advisor: turns the paper's lessons into a plan.
+
+Given a :class:`WorkloadProfile` describing what a distributed system
+wants from the SmartNIC, the advisor applies the paper's guidance —
+Advice #1 through #4 plus the §4 bandwidth-partitioning rule — and emits
+an :class:`OffloadPlan`: which path each class of traffic should take,
+how large requests must be segmented, whether doorbell batching should
+be on at each side, and how much host<->SoC bandwidth is safe to use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.flows import ConcurrencyAnalyzer
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow, ThroughputSolver
+from repro.net.topology import Testbed
+from repro.units import GB, KB, MB, fmt_size
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What the distributed system asks of the SmartNIC.
+
+    * ``payload`` — typical request payload in bytes.
+    * ``read_fraction`` — share of one-sided READs (rest are WRITEs).
+    * ``two_sided_fraction`` — share of RPC-style SEND/RECV traffic.
+    * ``hot_range_bytes`` — the address range hot requests concentrate
+      in (skew).  ``None`` means uniform over ``working_set_bytes``.
+    * ``working_set_bytes`` — total responder state.
+    * ``host_soc_transfer`` — whether the offloaded code must move bulk
+      data between host and SoC (path ③).
+    """
+
+    payload: int
+    read_fraction: float = 0.5
+    two_sided_fraction: float = 0.0
+    hot_range_bytes: Optional[float] = None
+    working_set_bytes: float = 10 * GB
+    host_soc_transfer: bool = False
+
+    def __post_init__(self):
+        if self.payload < 0:
+            raise ValueError(f"negative payload: {self.payload}")
+        if not 0 <= self.read_fraction <= 1:
+            raise ValueError("read fraction must be in [0, 1]")
+        if not 0 <= self.two_sided_fraction <= 1:
+            raise ValueError("two-sided fraction must be in [0, 1]")
+        if self.working_set_bytes <= 0:
+            raise ValueError("working set must be positive")
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One actionable recommendation, referencing the paper's advice ids."""
+
+    ref: str          # e.g. "advice-1", "rule-p-minus-n"
+    summary: str
+    rationale: str
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """The advisor's output."""
+
+    one_sided_path: CommPath
+    two_sided_path: CommPath
+    segment_bytes: Optional[int]          # None = no segmentation needed
+    doorbell_batching_soc_side: bool
+    doorbell_batching_host_side: bool
+    path3_budget_gbps: float
+    advice: List[Advice] = field(default_factory=list)
+
+    def advice_refs(self) -> List[str]:
+        return [a.ref for a in self.advice]
+
+
+class Advisor:
+    """Applies the paper's guidance to a workload profile."""
+
+    # Keep segments comfortably below the 9 MB collapse threshold.
+    SEGMENT_TARGET = 1 * MB
+
+    def __init__(self, testbed: Testbed):
+        self.testbed = testbed
+        self.analyzer = ConcurrencyAnalyzer(testbed)
+        self.solver = ThroughputSolver()
+
+    def plan(self, profile: WorkloadProfile) -> OffloadPlan:
+        """Produce an offloading plan for ``profile``."""
+        advice: List[Advice] = []
+        snic = self.testbed.snic
+
+        one_sided_path = self._pick_one_sided_path(profile, advice)
+        two_sided_path = self._pick_two_sided_path(profile, advice)
+        segment = self._segmentation(profile, one_sided_path, advice)
+        budget = self.analyzer.path3_budget_gbps()
+
+        if profile.host_soc_transfer:
+            advice.append(Advice(
+                ref="rule-p-minus-n",
+                summary=(f"cap host-SoC transfers at {budget:.0f} Gbps"),
+                rationale=(
+                    "path 3 crosses PCIe1 twice; beyond P - N it throttles "
+                    "inter-machine traffic (S4)"),
+            ))
+            advice.append(Advice(
+                ref="advice-4",
+                summary="enable doorbell batching on the SoC side only",
+                rationale=(
+                    "DB is 2.7-4.6x at the SoC side but loses 6-9 % at the "
+                    "host side for small batches (Fig 10b)"),
+            ))
+
+        return OffloadPlan(
+            one_sided_path=one_sided_path,
+            two_sided_path=two_sided_path,
+            segment_bytes=segment,
+            doorbell_batching_soc_side=True,
+            doorbell_batching_host_side=False,
+            path3_budget_gbps=budget if profile.host_soc_transfer else 0.0,
+            advice=advice,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _pick_one_sided_path(self, profile: WorkloadProfile,
+                             advice: List[Advice]) -> CommPath:
+        """SoC memory is faster for one-sided ops unless skew or capacity
+        rules it out (§3.2)."""
+        snic = self.testbed.snic
+        hot = profile.hot_range_bytes
+        skew_hostile = False
+        if hot is not None and profile.payload > 0:
+            soc_mem = snic.soc.memory
+            op = "read" if profile.read_fraction >= 0.5 else "write"
+            narrow = soc_mem.dma_request_capacity(op, profile.payload, hot)
+            wide = soc_mem.dma_request_capacity(
+                op, profile.payload, profile.working_set_bytes)
+            skew_hostile = narrow < 0.8 * wide
+        too_big = profile.working_set_bytes > snic.soc.dram_bytes
+
+        if skew_hostile:
+            advice.append(Advice(
+                ref="advice-1",
+                summary="keep skewed one-sided traffic on host memory",
+                rationale=(
+                    f"hot range {fmt_size(hot)} engages too few SoC DRAM "
+                    "banks and the A72 has no DDIO (Fig 7)"),
+            ))
+            return CommPath.SNIC1
+        if too_big:
+            advice.append(Advice(
+                ref="capacity",
+                summary="working set exceeds SoC DRAM; keep data on host",
+                rationale=(
+                    f"{fmt_size(profile.working_set_bytes)} > "
+                    f"{fmt_size(snic.soc.dram_bytes)} of SoC memory"),
+            ))
+            return CommPath.SNIC1
+        advice.append(Advice(
+            ref="path-2",
+            summary="serve one-sided requests from SoC memory",
+            rationale=("the SoC is closer to the NIC: READ/WRITE on path 2 "
+                       "run 1.08-1.48x path 1 for small payloads (S3.2)"),
+        ))
+        return CommPath.SNIC2
+
+    def _pick_two_sided_path(self, profile: WorkloadProfile,
+                             advice: List[Advice]) -> CommPath:
+        if profile.two_sided_fraction == 0:
+            return CommPath.SNIC1
+        advice.append(Advice(
+            ref="wimpy-soc",
+            summary="terminate SEND/RECV traffic on the host",
+            rationale=("the 8 A72 cores serve up to 64 % fewer two-sided "
+                       "messages than the host CPU (S3.2)"),
+        ))
+        return CommPath.SNIC1
+
+    def _segmentation(self, profile: WorkloadProfile, path: CommPath,
+                      advice: List[Advice]) -> Optional[int]:
+        cores = self.testbed.snic.spec.cores
+        threshold = (cores.hol_threshold_s2h if profile.host_soc_transfer
+                     else cores.hol_threshold)
+        if profile.payload <= threshold and not (
+                profile.host_soc_transfer
+                and profile.payload > cores.hol_threshold_s2h):
+            return None
+        segment = min(self.SEGMENT_TARGET, threshold)
+        advice.append(Advice(
+            ref="advice-2-3",
+            summary=f"segment {fmt_size(profile.payload)} transfers into "
+                    f"{fmt_size(segment)} requests",
+            rationale=("large requests with a non-posted 128 B-MTU leg "
+                       "collapse the DMA engine to 120 Mpps (Fig 8/9)"),
+        ))
+        return segment

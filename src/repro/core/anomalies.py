@@ -1,0 +1,196 @@
+"""Detectors for the four performance anomalies the paper uncovers.
+
+Each detector inspects a workload (as :class:`~repro.core.throughput.Flow`
+objects) against a testbed and returns an :class:`Anomaly` when the
+workload would trip the corresponding hazard:
+
+* **skew** — one-sided accesses to SoC memory over a narrow range
+  (no DDIO; Advice #1),
+* **hol** — oversized requests with a non-posted small-MTU DMA leg
+  (Advice #2 / #3),
+* **pcie-underutilization** — intra-machine traffic stealing PCIe1 from
+  inter-machine communication (§3.3 / §4),
+* **doorbell** — doorbell batching enabled on the host side of path ③
+  at regressing batch sizes (Advice #4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow, Scenario, ThroughputSolver
+from repro.net.topology import Testbed
+from repro.nic.core import Endpoint
+from repro.units import fmt_size
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected hazard.
+
+    ``severity`` is the predicted throughput ratio (degraded / healthy);
+    lower is worse.  ``advice`` names the paper's remedy.
+    """
+
+    kind: str
+    flow: Optional[Flow]
+    severity: float
+    description: str
+    advice: str
+
+    def __post_init__(self):
+        if not 0 <= self.severity <= 1.0000001:
+            raise ValueError(f"severity must be in [0, 1]: {self.severity}")
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """All anomalies found in a workload."""
+
+    anomalies: List[Anomaly]
+
+    def __len__(self) -> int:
+        return len(self.anomalies)
+
+    def __iter__(self):
+        return iter(self.anomalies)
+
+    @property
+    def clean(self) -> bool:
+        return not self.anomalies
+
+    def of_kind(self, kind: str) -> List[Anomaly]:
+        return [a for a in self.anomalies if a.kind == kind]
+
+
+def detect_skew_vulnerability(testbed: Testbed, flow: Flow) -> Optional[Anomaly]:
+    """Advice #1: narrow address ranges on the DDIO-less SoC endpoint."""
+    if flow.path.uses_smartnic is False or not flow.op.one_sided:
+        return None
+    responder = flow.path.ends.responder
+    memory = testbed.snic.memory_of(responder)
+    if memory.ddio or flow.payload == 0:
+        return None
+    op = flow.op.memory_op
+    narrow = memory.dma_request_capacity(op, flow.payload, flow.range_bytes)
+    wide_range = max(flow.range_bytes,
+                     memory.dram.bank_stripe * memory.dram.total_banks)
+    wide = memory.dma_request_capacity(op, flow.payload, wide_range)
+    severity = narrow / wide if wide > 0 else 1.0
+    if severity >= 0.95:
+        return None
+    return Anomaly(
+        kind="skew",
+        flow=flow,
+        severity=min(1.0, severity),
+        description=(
+            f"{op.upper()}s to SoC memory over a {fmt_size(flow.range_bytes)} "
+            f"range engage too few DRAM banks (no DDIO on the SoC): "
+            f"expect ~{severity:.0%} of wide-range throughput"),
+        advice="Advice #1: avoid skewed memory accesses on the SoC",
+    )
+
+
+def detect_hol_collapse(testbed: Testbed, flow: Flow) -> Optional[Anomaly]:
+    """Advice #2/#3: oversized requests with a non-posted small-MTU leg."""
+    if not flow.path.uses_smartnic:
+        return None
+    cores = testbed.snic.cores
+    if flow.path.intra_machine:
+        nonposted = True
+        min_mps = testbed.snic.spec.soc_mps
+        s2h = flow.path is CommPath.SNIC3_S2H
+    else:
+        nonposted = flow.op is Opcode.READ
+        min_mps = testbed.snic.mps_for(flow.path.ends.responder)
+        s2h = False
+    exposed = nonposted and min_mps <= 128
+    if not exposed or not cores.hol_collapsed(flow.payload, True, s2h):
+        return None
+    severity = cores.spec.hol_pps / cores.spec.pcie_pps
+    threshold = (cores.spec.hol_threshold_s2h if s2h
+                 else cores.spec.hol_threshold)
+    return Anomaly(
+        kind="hol",
+        flow=flow,
+        severity=severity,
+        description=(
+            f"{fmt_size(flow.payload)} {flow.op.value.upper()}s on "
+            f"{flow.path.label} exceed the {fmt_size(threshold)} head-of-line "
+            f"threshold: the DMA engine collapses to "
+            f"{severity:.0%} of its packet rate"),
+        advice=("Advice #2/#3: segment large transfers into requests below "
+                f"{fmt_size(threshold)}"),
+    )
+
+
+def detect_pcie_underutilization(testbed: Testbed,
+                                 flows: Sequence[Flow]) -> Optional[Anomaly]:
+    """§4: uncontrolled path-③ traffic throttles inter-machine paths."""
+    inter = [f for f in flows if f.path.uses_network and f.path.uses_smartnic]
+    intra = [f for f in flows if f.path.intra_machine]
+    if not inter or not intra:
+        return None
+    solver = ThroughputSolver()
+    alone = solver.solve(Scenario(testbed, inter))
+    mixed = solver.solve(Scenario(testbed, list(flows)))
+    inter_indices = [i for i, f in enumerate(flows) if not f.path.intra_machine]
+    inter_mixed = sum(mixed.rates[i] for i in inter_indices)
+    severity = inter_mixed / alone.total_rate if alone.total_rate > 0 else 1.0
+    if severity >= 0.97:
+        return None
+    return Anomaly(
+        kind="pcie-underutilization",
+        flow=None,
+        severity=min(1.0, severity),
+        description=(
+            f"host-SoC traffic crosses PCIe1 twice and costs inter-machine "
+            f"paths {1 - severity:.0%} of their throughput"),
+        advice=("§4: budget path-3 bandwidth to at most P - N "
+                "(PCIe minus network limit) and use spare resources only"),
+    )
+
+
+def detect_doorbell_regression(testbed: Testbed, flow: Flow) -> Optional[Anomaly]:
+    """Advice #4: DB on the host side of path ③ can reduce throughput."""
+    if flow.doorbell_batch <= 1:
+        return None
+    if flow.path is CommPath.SNIC3_H2S:
+        doorbell = testbed.snic.spec.host_doorbell
+        side = "host"
+    elif flow.path is CommPath.SNIC3_S2H:
+        doorbell = testbed.snic.soc.doorbell
+        side = "SoC"
+    else:
+        doorbell = testbed.client_doorbell
+        side = "client"
+    speedup = doorbell.speedup(flow.doorbell_batch)
+    if speedup >= 1.0:
+        return None
+    return Anomaly(
+        kind="doorbell",
+        flow=flow,
+        severity=speedup,
+        description=(
+            f"doorbell batching (batch={flow.doorbell_batch}) at the {side} "
+            f"side posts {1 - speedup:.0%} slower than per-request MMIO "
+            f"(the NIC DMA-reads WQE lists from host memory slowly)"),
+        advice="Advice #4: enable doorbell batching carefully (SoC side only)",
+    )
+
+
+def detect_all(testbed: Testbed, flows: Sequence[Flow]) -> AnomalyReport:
+    """Run every detector over a workload."""
+    anomalies: List[Anomaly] = []
+    for flow in flows:
+        for detector in (detect_skew_vulnerability, detect_hol_collapse,
+                         detect_doorbell_regression):
+            found = detector(testbed, flow)
+            if found is not None:
+                anomalies.append(found)
+    shared = detect_pcie_underutilization(testbed, flows)
+    if shared is not None:
+        anomalies.append(shared)
+    return AnomalyReport(anomalies)

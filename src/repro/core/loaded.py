@@ -1,0 +1,115 @@
+"""Latency under load: the full latency-throughput curve.
+
+The paper reports the two endpoints of the curve — unloaded latency
+(Fig 4 upper) and peak throughput (Fig 4 lower).  This extension fills
+in the middle: given an offered load, queueing delay accumulates at the
+flow's bottleneck resource.  We model the bottleneck as an M/D/1 server
+(Poisson arrivals, deterministic service — NIC pipelines are highly
+regular), so the waiting time is
+
+    W = rho * s / (2 * (1 - rho))
+
+with ``s`` the effective service time (the reciprocal of the peak rate)
+and ``rho`` the utilization.  Mean latency is the unloaded latency plus
+``W``; the curve ends at the solver's peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.latency import LatencyModel
+from repro.core.throughput import Flow, Scenario, SolverResult, ThroughputSolver
+from repro.net.topology import Testbed
+
+
+@dataclass(frozen=True)
+class LoadedPoint:
+    """One point on a latency-throughput curve."""
+
+    offered_rate: float     # requests/ns
+    utilization: float      # of the bottleneck resource
+    latency_ns: float       # mean end-to-end latency
+    queueing_ns: float      # the waiting-time component
+
+    @property
+    def offered_mrps(self) -> float:
+        return self.offered_rate * 1e3
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ns / 1000.0
+
+
+class LoadedLatencyModel:
+    """Latency-throughput curves built on the two base engines."""
+
+    def __init__(self, testbed: Testbed):
+        self.testbed = testbed
+        self.latency = LatencyModel(testbed)
+        self.solver = ThroughputSolver()
+
+    def peak(self, flow: Flow) -> SolverResult:
+        return self.solver.solve(Scenario(self.testbed, [flow]))
+
+    def latency_at(self, flow: Flow, offered_rate: float) -> LoadedPoint:
+        """Mean latency when the flow offers ``offered_rate`` reqs/ns.
+
+        Raises :class:`ValueError` at or beyond the peak rate (the
+        M/D/1 wait diverges there).
+        """
+        if offered_rate < 0:
+            raise ValueError(f"negative offered rate: {offered_rate}")
+        peak_rate = self.peak(flow).rates[0]
+        rho = offered_rate / peak_rate
+        if rho >= 1.0:
+            raise ValueError(
+                f"offered rate {offered_rate:g} reqs/ns is at or beyond "
+                f"the peak {peak_rate:g}; the queue is unstable")
+        base = self.latency.latency(flow.path, flow.op, flow.payload,
+                                    flow.range_bytes).total
+        service = 1.0 / peak_rate
+        waiting = rho * service / (2.0 * (1.0 - rho))
+        return LoadedPoint(offered_rate=offered_rate, utilization=rho,
+                           latency_ns=base + waiting, queueing_ns=waiting)
+
+    def curve(self, flow: Flow, points: int = 10,
+              max_utilization: float = 0.95) -> List[LoadedPoint]:
+        """``points`` samples from idle to ``max_utilization`` of peak."""
+        if points < 2:
+            raise ValueError("need at least two points")
+        if not 0 < max_utilization < 1:
+            raise ValueError("max utilization must be in (0, 1)")
+        peak_rate = self.peak(flow).rates[0]
+        return [
+            self.latency_at(flow, peak_rate * max_utilization * i
+                            / (points - 1))
+            for i in range(points)
+        ]
+
+    def knee(self, flow: Flow,
+             latency_budget_factor: float = 2.0) -> LoadedPoint:
+        """The operating point where latency reaches ``factor`` x
+        unloaded — a classic provisioning rule of thumb.
+
+        Closed form from M/D/1: with ``base = b`` and ``service = s``,
+        solve ``b + rho s / (2 (1 - rho)) = factor * b``.
+        """
+        if latency_budget_factor <= 1.0:
+            raise ValueError("budget factor must exceed 1")
+        peak_rate = self.peak(flow).rates[0]
+        base = self.latency.latency(flow.path, flow.op, flow.payload,
+                                    flow.range_bytes).total
+        service = 1.0 / peak_rate
+        allowance = (latency_budget_factor - 1.0) * base
+        # rho * s / (2 (1 - rho)) = allowance  =>  rho = A / (A + s/2)
+        rho = allowance / (allowance + service / 2.0)
+        return self.latency_at(flow, rho * peak_rate)
+
+
+def curve_table(model: LoadedLatencyModel, flow: Flow,
+                points: int = 8) -> List[Tuple[float, float, float]]:
+    """(offered Mrps, utilization, latency us) rows for reports."""
+    return [(p.offered_mrps, p.utilization, p.latency_us)
+            for p in model.curve(flow, points=points)]

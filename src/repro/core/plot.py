@@ -1,0 +1,92 @@
+"""Terminal line plots for sweep results.
+
+The benchmarks print paper-style tables; for shape-at-a-glance the same
+series can be rendered as an ASCII chart (log-x friendly, multiple
+series, no dependencies).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_plot(series: Dict[str, Sequence[Tuple[float, float]]],
+               width: int = 64, height: int = 16, log_x: bool = False,
+               title: str = "", y_label: str = "") -> str:
+    """Render named (x, y) series as a character plot.
+
+    Each series gets a marker from ``*o+x...``; later series overwrite
+    earlier ones where they collide.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot too small")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    if log_x:
+        if x_lo <= 0:
+            raise ValueError("log_x requires positive x values")
+        x_lo, x_hi = math.log10(x_lo), math.log10(x_hi)
+
+    def col(x: float) -> int:
+        if log_x:
+            x = math.log10(x)
+        if x_hi == x_lo:
+            return 0
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(y: float) -> int:
+        if y_hi == y_lo:
+            return height - 1
+        return height - 1 - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in pts:
+            grid[row(y)][col(x)] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for r, cells in enumerate(grid):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bottom_label
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(label.rjust(gutter) + " |" + "".join(cells))
+    axis_lo = f"{10 ** x_lo:g}" if log_x else f"{x_lo:g}"
+    axis_hi = f"{10 ** x_hi:g}" if log_x else f"{x_hi:g}"
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(" " * gutter + f"  {axis_lo}{'(log)' if log_x else ''}"
+                 + axis_hi.rjust(width - len(axis_lo)
+                                 - (5 if log_x else 0)))
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def plot_sweeps(sweeps: Dict[str, "object"], log_x: bool = True,
+                title: str = "", y_label: str = "") -> str:
+    """Plot :class:`~repro.core.bench.Sweep` objects by name."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for name, sweep in sweeps.items():
+        series[name] = list(zip(sweep.xs(), sweep.values()))
+    return ascii_plot(series, log_x=log_x, title=title, y_label=y_label)

@@ -1,0 +1,112 @@
+"""What-if analysis: the §5 vendor suggestions and next-gen hardware.
+
+The paper closes with two suggestions and a generalization claim; this
+module makes each one a concrete, solvable configuration:
+
+* **CXL for host<->SoC** — data no longer bounces through the NIC cores:
+  one switch traversal, host-class MTU, no double PCIe1 crossing.  The
+  path-③ anomalies (under-utilization, early HOL collapse) should
+  disappear.
+* **CCI / DDIO-equivalent on the SoC** — inbound DMA may hit the SoC's
+  LLC, so the Fig 7 write-skew anomaly should vanish.
+* **Bluefield-3** — same architecture, faster parts (400 Gbps NIC,
+  PCIe 5.0); the methodology and models carry over unchanged, only the
+  constants move (§5 "Other SmartNICs").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Dict
+
+from repro.hw.memory import LLCConfig, MemorySubsystem
+from repro.hw.pcie.tlp import TLP_HEADER_BYTES
+from repro.net.topology import Testbed
+from repro.nic.rnic import RNIC
+from repro.nic.smartnic import SmartNIC
+from repro.nic.specs import BLUEFIELD3, SmartNICSpec
+from repro.units import MB, mrps
+
+
+def with_cci_soc(testbed: Testbed) -> Testbed:
+    """A testbed whose SoC supports a DDIO-equivalent (ARM CCI).
+
+    Inbound DMA to SoC memory may allocate into an SoC LLC slice, so
+    narrow-range accesses no longer collapse onto single DRAM banks.
+    """
+    soc_llc = LLCConfig(size=6 * MB, ddio_way_fraction=0.5,
+                        dma_read_rate=mrps(300.0), dma_write_rate=mrps(300.0),
+                        bandwidth=40.0, hit_latency=30.0)
+    old_spec = testbed.snic.spec
+    new_memory = MemorySubsystem(dram=old_spec.soc_memory.dram, llc=soc_llc,
+                                 ddio=True, name="soc+cci")
+    new_spec = replace(old_spec, soc_memory=new_memory,
+                       name=old_spec.name + "+cci")
+    return replace(testbed, snic=SmartNIC(new_spec,
+                                          host_memory=testbed.snic.host_memory))
+
+
+def bluefield3_testbed(testbed: Testbed) -> Testbed:
+    """The same cluster with the SmartNIC swapped for a Bluefield-3."""
+    return replace(testbed, snic=SmartNIC(
+        BLUEFIELD3, host_memory=testbed.snic.host_memory))
+
+
+class CxlPath3Model:
+    """Path ③ over CXL instead of RDMA-through-the-NIC (§5 suggestion).
+
+    With CXL.mem the host and SoC exchange data through the switch
+    directly: one traversal of each relevant link, host-class flit
+    efficiency, and no NIC-core involvement.  This is an analytic model
+    (no SmartNIC ships CXL yet — the paper says so too); it answers how
+    much of the path-③ gap the suggestion closes.
+    """
+
+    CXL_FLIT_BYTES = 64
+    CXL_FLIT_OVERHEAD = 6  # 64 B flits carry ~58 B of payload equivalent
+
+    def __init__(self, spec: SmartNICSpec):
+        self.spec = spec
+
+    def efficiency(self) -> float:
+        """Payload fraction of the CXL flit stream."""
+        return (self.CXL_FLIT_BYTES - self.CXL_FLIT_OVERHEAD) / self.CXL_FLIT_BYTES
+
+    def bandwidth(self) -> float:
+        """Achievable host<->SoC goodput over CXL, bytes/ns.
+
+        One direction of PCIe0 and the switch; PCIe1 and the NIC cores
+        stay out of the path entirely.
+        """
+        raw = self.spec.pcie0.bandwidth * self.spec.switch_derate
+        return raw * self.efficiency()
+
+    def rdma_path3_bandwidth(self, payload: int) -> float:
+        """Today's RDMA path-③ ceiling for comparison (the PCIe1
+        double-crossing at the SoC's 128 B MTU)."""
+        mps = self.spec.soc_mps
+        tlps = math.ceil(payload / mps)
+        wire = payload + tlps * TLP_HEADER_BYTES
+        cap = self.spec.pcie1.bandwidth * self.spec.switch_derate
+        return cap * payload / wire
+
+    def improvement(self, payload: int) -> float:
+        """CXL bandwidth relative to the RDMA path-③ ceiling."""
+        return self.bandwidth() / self.rdma_path3_bandwidth(payload)
+
+    def frees_nic_for_network(self) -> bool:
+        """CXL removes path ③'s PCIe1 usage, so the §4 budget rule no
+        longer binds — host<->SoC traffic stops competing with clients."""
+        return True
+
+
+def speed_ratios(base: Testbed, upgraded: Testbed) -> Dict[str, float]:
+    """Headline hardware ratios between two testbeds (for reports)."""
+    b, u = base.snic.spec, upgraded.snic.spec
+    return {
+        "network": (u.cores.network_bandwidth / b.cores.network_bandwidth),
+        "pcie": u.pcie_bandwidth / b.pcie_bandwidth,
+        "verb_rate": (u.cores.verb_rate_host_only
+                      / b.cores.verb_rate_host_only),
+    }

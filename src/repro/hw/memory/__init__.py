@@ -1,0 +1,27 @@
+"""Memory substrate: DRAM geometry, LLC with DDIO, combined subsystem.
+
+Models the §3.2 skew anomaly: a host CPU with DDIO absorbs NIC accesses
+in the LLC regardless of how narrow the address range is, while the SoC
+(no DDIO) serves them from a single DRAM channel whose bank-level
+parallelism collapses when the accessed range is small.
+"""
+
+from repro.hw.memory.address import AddressRegion, UniformAddresses
+from repro.hw.memory.dram import DRAMConfig, DRAMModel
+from repro.hw.memory.cache import LLCConfig
+from repro.hw.memory.subsystem import MemorySubsystem
+from repro.hw.memory.cachesim import CacheStats, SetAssociativeCache
+from repro.hw.memory.dramsim import DramBankSim, DramTimingParams
+
+__all__ = [
+    "AddressRegion",
+    "UniformAddresses",
+    "DRAMConfig",
+    "DRAMModel",
+    "LLCConfig",
+    "MemorySubsystem",
+    "CacheStats",
+    "SetAssociativeCache",
+    "DramBankSim",
+    "DramTimingParams",
+]

@@ -1,0 +1,64 @@
+"""Address regions and samplers for access-pattern workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+import random
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A contiguous range of a memory address space."""
+
+    base: int
+    size: int
+
+    def __post_init__(self):
+        if self.base < 0:
+            raise ValueError(f"negative base: {self.base}")
+        if self.size <= 0:
+            raise ValueError(f"region size must be positive: {self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, nbytes: int = 1) -> bool:
+        return self.base <= addr and addr + nbytes <= self.end
+
+    def sub_region(self, size: int, offset: int = 0) -> "AddressRegion":
+        """A smaller region carved out at ``offset`` — used for range sweeps."""
+        if offset + size > self.size:
+            raise ValueError(
+                f"sub-region [{offset}, {offset + size}) exceeds size {self.size}")
+        return AddressRegion(self.base + offset, size)
+
+
+class UniformAddresses:
+    """Uniformly random aligned addresses within a region.
+
+    This is the paper's default workload: "responder addresses are
+    randomly selected from a 10 GB address space" (§3 setup).
+    """
+
+    def __init__(self, region: AddressRegion, payload: int,
+                 alignment: int = 64, rng: Optional[random.Random] = None):
+        if payload < 0:
+            raise ValueError(f"negative payload: {payload}")
+        if alignment <= 0:
+            raise ValueError(f"alignment must be positive: {alignment}")
+        if payload > region.size:
+            raise ValueError(
+                f"payload {payload} larger than region {region.size}")
+        self.region = region
+        self.payload = payload
+        self.alignment = alignment
+        self.rng = rng or random.Random(0)
+        span = region.size - payload
+        self._slots = span // alignment + 1
+
+    def next(self) -> int:
+        """The next target address (base-aligned, payload fits in region)."""
+        slot = self.rng.randrange(self._slots)
+        return self.region.base + slot * self.alignment

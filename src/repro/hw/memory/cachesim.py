@@ -1,0 +1,116 @@
+"""A set-associative cache simulator with DDIO way restriction.
+
+Models the LLC behaviour behind Advice #1 at the granularity the
+analytic model abstracts away: DMA traffic may only allocate into a
+subset of ways (Intel DDIO reserves 2 of the LLC's ways by default), so
+an inbound-DMA working set larger than that slice thrashes, while CPU
+traffic may use the whole cache.
+
+Replacement is per-set LRU.  Used by the memory-timing validation bench
+to show the Fig 7 "host line stays flat" behaviour emerging from the
+cache itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dma_allocations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache with optional DDIO way limits.
+
+    ``ddio_ways`` bounds which ways *DMA* allocations may occupy
+    (0..ddio_ways-1); CPU allocations may use every way.  Lookups hit in
+    any way regardless of who allocated the line.
+    """
+
+    def __init__(self, size: int, ways: int, line: int = 64,
+                 ddio_ways: Optional[int] = None):
+        if size <= 0 or ways <= 0 or line <= 0:
+            raise ValueError("size, ways and line must be positive")
+        if size % (ways * line):
+            raise ValueError("size must be a multiple of ways * line")
+        self.size = size
+        self.ways = ways
+        self.line = line
+        self.sets = size // (ways * line)
+        if self.sets < 1:
+            raise ValueError("cache has no sets")
+        self.ddio_ways = ways if ddio_ways is None else ddio_ways
+        if not 1 <= self.ddio_ways <= ways:
+            raise ValueError(f"ddio_ways must be in [1, {ways}]")
+        # Per set: list of (tag, way_index) in LRU order (MRU last).
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.sets)]
+        self._lru: List[List[int]] = [[] for _ in range(self.sets)]
+        self._way_of: List[Dict[int, int]] = [dict() for _ in range(self.sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int):
+        line_addr = addr // self.line
+        return line_addr % self.sets, line_addr // self.sets
+
+    def access(self, addr: int, from_dma: bool = False) -> bool:
+        """One read or write access; returns True on hit.
+
+        Misses allocate; DMA misses may only displace lines in the DDIO
+        ways (write-allocate, as DDIO does for inbound writes).
+        """
+        if addr < 0:
+            raise ValueError(f"negative address: {addr}")
+        set_index, tag = self._locate(addr)
+        ways = self._way_of[set_index]
+        lru = self._lru[set_index]
+        if tag in ways:
+            self.stats.hits += 1
+            lru.remove(tag)
+            lru.append(tag)
+            return True
+        self.stats.misses += 1
+        self._allocate(set_index, tag, from_dma)
+        return False
+
+    def _allocate(self, set_index: int, tag: int, from_dma: bool) -> None:
+        ways = self._way_of[set_index]
+        lru = self._lru[set_index]
+        limit = self.ddio_ways if from_dma else self.ways
+        occupied_allowed = [t for t in lru if ways[t] < limit]
+        free_way = self._free_way(ways, limit)
+        if free_way is None:
+            # Evict the LRU line living in an allowed way.
+            victim = occupied_allowed[0]
+            free_way = ways.pop(victim)
+            lru.remove(victim)
+            self.stats.evictions += 1
+        ways[tag] = free_way
+        lru.append(tag)
+        if from_dma:
+            self.stats.dma_allocations += 1
+
+    def _free_way(self, ways: Dict[int, int], limit: int) -> Optional[int]:
+        used = set(ways.values())
+        for way in range(limit):
+            if way not in used:
+                return way
+        return None
+
+    @property
+    def ddio_capacity(self) -> int:
+        """Bytes of cache reachable by DMA allocations."""
+        return self.sets * self.ddio_ways * self.line

@@ -1,0 +1,72 @@
+"""A PCIe link instance inside a discrete-event simulation.
+
+Wraps a full-duplex channel with TLP segmentation and per-direction
+TLP/byte counters (the simulated equivalent of the Bluefield hardware
+counters the paper reads).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.events import Event
+from repro.sim.links import DuplexChannel
+from repro.sim.monitor import Counter
+from repro.hw.pcie.config import PCIeLinkSpec
+from repro.hw.pcie.tlp import TLP_HEADER_BYTES, segment_sizes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class PCIeLink:
+    """One physical PCIe link between two components.
+
+    Direction convention: ``forward=True`` means *downstream-to-upstream*
+    is up to the caller; the NIC wiring in :mod:`repro.nic.smartnic`
+    documents which end is which.  Propagation latency is per traversal.
+    """
+
+    def __init__(self, sim: "Simulator", spec: PCIeLinkSpec,
+                 latency: float = 0.0, name: str = ""):
+        self.sim = sim
+        self.spec = spec
+        self.name = name or spec.name
+        self.channel = DuplexChannel(sim, spec.bandwidth, latency, name=self.name)
+        self.tlps_fwd = Counter()
+        self.tlps_rev = Counter()
+        self.data_bytes_fwd = Counter()
+        self.data_bytes_rev = Counter()
+
+    def send_tlp(self, payload: int, forward: bool = True) -> Event:
+        """Transfer one TLP carrying ``payload`` data bytes."""
+        counter = self.tlps_fwd if forward else self.tlps_rev
+        data = self.data_bytes_fwd if forward else self.data_bytes_rev
+        counter.add(1)
+        data.add(payload)
+        return self.channel.send(payload + TLP_HEADER_BYTES, forward=forward)
+
+    def send_data(self, nbytes: int, mps: int, forward: bool = True) -> Event:
+        """Transfer ``nbytes`` segmented into TLPs of at most ``mps``.
+
+        Returns the delivery event of the *last* TLP.  A zero-byte
+        transfer completes after one propagation delay with no TLPs.
+        """
+        if nbytes == 0:
+            return self.channel.send(0, forward=forward)
+        last: Event = None
+        for size in segment_sizes(nbytes, mps):
+            last = self.send_tlp(size, forward=forward)
+        return last
+
+    # -- counters (hardware-counter style) ---------------------------------------
+
+    @property
+    def total_tlps(self) -> float:
+        """Total TLPs carried in both directions."""
+        return self.tlps_fwd.total + self.tlps_rev.total
+
+    @property
+    def total_data_bytes(self) -> float:
+        """Total data payload bytes carried in both directions."""
+        return self.data_bytes_fwd.total + self.data_bytes_rev.total

@@ -1,0 +1,40 @@
+"""MMIO (memory-mapped IO) write cost model.
+
+Posting a work request to a NIC is dominated by the MMIO doorbell write
+(§3.3, Fig 10a).  MMIO writes are uncached, serializing stores whose
+cost grows with the PCIe distance between the CPU issuing them and the
+NIC's BAR — the SoC pays dearly when ringing a doorbell for host-side
+communication because the store crosses the switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MMIOModel:
+    """Per-write MMIO latencies (ns) from a CPU to a NIC's registers.
+
+    ``base`` is the write-combining store + flush cost on the issuing
+    core; ``per_hop`` is added for each PCIe switch/link traversal
+    between the CPU and the NIC function.
+    """
+
+    base: float
+    per_hop: float = 175.0
+
+    def __post_init__(self):
+        if self.base < 0 or self.per_hop < 0:
+            raise ValueError("MMIO latencies must be >= 0")
+
+    def write_latency(self, hops: int = 1) -> float:
+        """Latency of one MMIO doorbell write across ``hops`` traversals.
+
+        MMIO writes are posted, so the *blocking* cost at the CPU is the
+        store-buffer drain; crossing more fabric raises back-pressure and
+        effective issue cost, which we model linearly per hop.
+        """
+        if hops < 0:
+            raise ValueError(f"negative hop count: {hops}")
+        return self.base + self.per_hop * hops

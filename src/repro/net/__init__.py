@@ -1,0 +1,8 @@
+"""Network fabric and testbed topology (Table 2)."""
+
+from repro.net.fabric import FabricSpec, DEFAULT_FABRIC
+from repro.net.topology import Testbed, paper_testbed
+from repro.net.cluster import Node, ServerInstance, SimCluster
+
+__all__ = ["FabricSpec", "DEFAULT_FABRIC", "Testbed", "paper_testbed",
+           "Node", "ServerInstance", "SimCluster"]

@@ -1,0 +1,38 @@
+"""The InfiniBand fabric connecting servers and clients.
+
+The paper's testbed uses one Mellanox SB7890 100 Gbps switch; the
+200 Gbps NICs attach with two 100 Gbps ports so the fabric never limits
+them (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import gbps
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A single-switch fabric: per-port speed and hop latencies."""
+
+    ports: int = 36
+    port_gbps: float = 100.0
+    switch_latency_ns: float = 110.0   # per switch traversal
+    cable_latency_ns: float = 200.0    # end-to-end propagation, one way
+
+    def __post_init__(self):
+        if self.ports < 2 or self.port_gbps <= 0:
+            raise ValueError("fabric needs >= 2 ports of positive speed")
+
+    @property
+    def port_bandwidth(self) -> float:
+        """One port's per-direction bandwidth, bytes/ns."""
+        return gbps(self.port_gbps)
+
+    def one_way_latency(self) -> float:
+        """Propagation through one cable pair and the switch, ns."""
+        return self.cable_latency_ns + self.switch_latency_ns
+
+
+DEFAULT_FABRIC = FabricSpec()

@@ -1,0 +1,43 @@
+"""NIC devices: RNIC (ConnectX-style) and off-path SmartNIC (Bluefield-style).
+
+A :class:`~repro.nic.smartnic.SmartNIC` wires the substrate together the
+way Fig 2(c) shows: NIC cores behind PCIe1, a PCIe switch, the host
+behind PCIe0, and the SoC hanging directly off the switch.
+"""
+
+from repro.nic.specs import (
+    NICCoreSpec,
+    RNICSpec,
+    SmartNICSpec,
+    DoorbellCosts,
+    CONNECTX6,
+    CONNECTX4,
+    BLUEFIELD2,
+    BLUEFIELD3,
+    HOST_MEMORY,
+    SOC_MEMORY,
+    CLIENT_MEMORY,
+)
+from repro.nic.core import NICCores, Endpoint
+from repro.nic.soc import SoC
+from repro.nic.rnic import RNIC
+from repro.nic.smartnic import SmartNIC
+
+__all__ = [
+    "NICCoreSpec",
+    "RNICSpec",
+    "SmartNICSpec",
+    "DoorbellCosts",
+    "CONNECTX6",
+    "CONNECTX4",
+    "BLUEFIELD2",
+    "BLUEFIELD3",
+    "HOST_MEMORY",
+    "SOC_MEMORY",
+    "CLIENT_MEMORY",
+    "NICCores",
+    "Endpoint",
+    "SoC",
+    "RNIC",
+    "SmartNIC",
+]

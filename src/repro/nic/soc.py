@@ -1,0 +1,36 @@
+"""The SmartNIC's on-board SoC: ARM cores plus private DRAM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cpu import CPUSpec
+from repro.hw.memory import MemorySubsystem
+from repro.nic.specs import DoorbellCosts
+
+
+@dataclass(frozen=True)
+class SoC:
+    """The programmable complex of an off-path SmartNIC.
+
+    From the NIC cores' perspective this is "a second full-fledged host
+    with an exclusive network interface" (§2.2) — it runs Linux, posts
+    verbs, and owns a single-channel DRAM without DDIO.
+    """
+
+    cpu: CPUSpec
+    memory: MemorySubsystem
+    dram_bytes: int
+    doorbell: DoorbellCosts
+
+    def __post_init__(self):
+        if self.dram_bytes <= 0:
+            raise ValueError(f"SoC DRAM size must be positive: {self.dram_bytes}")
+
+    def issue_capacity(self, threads: int = None) -> float:
+        """Sustained verb posting rate (reqs/ns) from SoC cores."""
+        return self.cpu.issue_capacity(threads)
+
+    def echo_capacity(self, threads: int = None) -> float:
+        """Two-sided message service rate (msgs/ns) on SoC cores."""
+        return self.cpu.echo_capacity(threads)

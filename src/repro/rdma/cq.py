@@ -1,0 +1,73 @@
+"""Completion queues."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, TYPE_CHECKING
+
+from repro.rdma.opcodes import CompletionStatus, WorkOpcode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One completion entry (ibv_wc)."""
+
+    wr_id: int
+    opcode: WorkOpcode
+    status: CompletionStatus
+    byte_len: int
+    timestamp: float  # simulated ns at which the CQE was written
+
+    @property
+    def ok(self) -> bool:
+        return self.status is CompletionStatus.SUCCESS
+
+
+class CompletionQueue:
+    """A polled completion queue with optional blocking waits."""
+
+    def __init__(self, sim: "Simulator", depth: int = 4096):
+        if depth < 1:
+            raise ValueError(f"CQ depth must be >= 1: {depth}")
+        self.sim = sim
+        self.depth = depth
+        self._entries: Deque[Completion] = deque()
+        self._waiters: Deque["Event"] = deque()
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, completion: Completion) -> None:
+        """NIC-side: append a CQE (drops and counts on overflow)."""
+        if len(self._entries) >= self.depth:
+            self.overflows += 1
+            return
+        self._entries.append(completion)
+        while self._waiters and self._entries:
+            self._waiters.popleft().succeed(self._entries.popleft())
+
+    def poll(self, max_entries: int = 16) -> List[Completion]:
+        """Non-blocking poll of up to ``max_entries`` CQEs."""
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        polled: List[Completion] = []
+        while self._entries and len(polled) < max_entries:
+            polled.append(self._entries.popleft())
+        return polled
+
+    def wait(self) -> "Event":
+        """An event that fires with the next CQE (for processes)."""
+        from repro.sim.events import Event
+
+        waiter = Event(self.sim)
+        if self._entries:
+            waiter.succeed(self._entries.popleft())
+        else:
+            self._waiters.append(waiter)
+        return waiter

@@ -1,0 +1,102 @@
+"""Protection domains and registered memory regions.
+
+A :class:`MemoryRegion` owns a real ``bytearray`` — applications built
+on the stack (the KV store, the RPC server) move actual data.  Remote
+access is checked against the region's rkey and bounds, mirroring the
+RNIC's protection checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.cluster import Node
+
+
+class AccessError(Exception):
+    """A remote or local access violated an MR's bounds or key."""
+
+
+class MemoryRegion:
+    """A registered, remotely accessible buffer on one node."""
+
+    _keys = itertools.count(0x1000)
+
+    def __init__(self, node: "Node", length: int):
+        if length <= 0:
+            raise ValueError(f"MR length must be positive: {length}")
+        self.node = node
+        self.length = length
+        self.buffer = bytearray(length)
+        self.lkey = next(self._keys)
+        self.rkey = next(self._keys)
+
+    # -- local access ------------------------------------------------------------
+
+    def write_local(self, offset: int, data: bytes) -> None:
+        """CPU store into the region."""
+        self._check(offset, len(data))
+        self.buffer[offset:offset + len(data)] = data
+
+    def read_local(self, offset: int, length: int) -> bytes:
+        """CPU load from the region."""
+        self._check(offset, length)
+        return bytes(self.buffer[offset:offset + length])
+
+    # -- remote (DMA) access -------------------------------------------------------
+
+    def dma_write(self, offset: int, data: bytes, rkey: int) -> None:
+        """Inbound DMA write, rkey-checked."""
+        self._check_key(rkey)
+        self._check(offset, len(data))
+        self.buffer[offset:offset + len(data)] = data
+
+    def dma_read(self, offset: int, length: int, rkey: int) -> bytes:
+        """Inbound DMA read, rkey-checked."""
+        self._check_key(rkey)
+        self._check(offset, length)
+        return bytes(self.buffer[offset:offset + length])
+
+    # -- checks ---------------------------------------------------------------------
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise AccessError(
+                f"access [{offset}, {offset + length}) outside MR of "
+                f"{self.length} bytes on {self.node.name}")
+
+    def _check_key(self, rkey: int) -> None:
+        if rkey != self.rkey:
+            raise AccessError(
+                f"bad rkey {rkey:#x} for MR on {self.node.name}")
+
+
+class ProtectionDomain:
+    """Groups the MRs of one node; hands out registrations."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self.regions: Dict[int, MemoryRegion] = {}
+        self._registered = 0
+
+    def reg_mr(self, length: int) -> MemoryRegion:
+        """Register a fresh region, enforcing the node's memory budget."""
+        if self._registered + length > self.node.memory_bytes:
+            raise MemoryError(
+                f"{self.node.name}: registering {length} B exceeds "
+                f"{self.node.memory_bytes} B of node memory")
+        region = MemoryRegion(self.node, length)
+        self.regions[region.rkey] = region
+        self._registered += length
+        return region
+
+    def dereg_mr(self, region: MemoryRegion) -> None:
+        if region.rkey not in self.regions:
+            raise AccessError("MR not registered in this PD")
+        del self.regions[region.rkey]
+        self._registered -= region.length
+
+    def lookup(self, rkey: int) -> Optional[MemoryRegion]:
+        return self.regions.get(rkey)

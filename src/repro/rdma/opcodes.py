@@ -1,0 +1,28 @@
+"""Work-request opcodes and completion statuses."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class WorkOpcode(Enum):
+    """The verbs this stack implements."""
+
+    READ = "read"      # one-sided RDMA READ (RC only)
+    WRITE = "write"    # one-sided RDMA WRITE (RC only)
+    SEND = "send"      # two-sided send
+    RECV = "recv"      # receive-buffer post
+
+    @property
+    def one_sided(self) -> bool:
+        return self in (WorkOpcode.READ, WorkOpcode.WRITE)
+
+
+class CompletionStatus(Enum):
+    """Completion outcomes (a subset of ibv_wc_status)."""
+
+    SUCCESS = "success"
+    LOCAL_PROTECTION_ERROR = "local-protection-error"
+    REMOTE_ACCESS_ERROR = "remote-access-error"
+    FLUSH_ERROR = "work-request-flushed"
+    NOT_READY = "not-ready"

@@ -1,0 +1,400 @@
+"""Queue pairs: RC for one-sided verbs, UD for datagram SEND/RECV.
+
+A queue pair belongs to one node.  Posting a verb starts a discrete-event
+process that replays the hardware's execution flow — posting cost at the
+requester CPU, NIC pipelines, network channels, and the responder-side
+DMA over the SmartNIC's internal fabric — then delivers a completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from enum import Enum
+from typing import Deque, Optional, Tuple, TYPE_CHECKING
+
+from repro.rdma import transport
+from repro.rdma.cq import Completion, CompletionQueue
+from repro.rdma.mr import AccessError, MemoryRegion
+from repro.rdma.opcodes import CompletionStatus, WorkOpcode
+from repro.rdma.srq import SharedReceiveQueue
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.cluster import Node
+
+
+class QPType(Enum):
+    RC = "rc"   # reliable connection: READ/WRITE/SEND
+    UD = "ud"   # unreliable datagram: SEND/RECV only
+
+
+class QPState(Enum):
+    """The ibv_qp_state subset the stack models.
+
+    RC QPs walk RESET -> INIT -> RTR -> RTS (or take the
+    :meth:`QueuePair.connect` shortcut); UD QPs are created ready.
+    A remote access error moves the QP to ERROR, after which posts
+    flush with :attr:`CompletionStatus.FLUSH_ERROR`.
+    """
+
+    RESET = "reset"
+    INIT = "init"
+    RTR = "rtr"    # ready to receive
+    RTS = "rts"    # ready to send
+    ERROR = "error"
+
+
+# Legal forward transitions (plus anything -> ERROR / RESET).
+_TRANSITIONS = {
+    QPState.RESET: {QPState.INIT},
+    QPState.INIT: {QPState.RTR},
+    QPState.RTR: {QPState.RTS},
+    QPState.RTS: set(),
+    QPState.ERROR: set(),
+}
+
+
+class QPError(Exception):
+    """QP misuse: wrong type, wrong state, not connected, bad sizes."""
+
+
+class QueuePair:
+    """One queue pair plus its execution engine."""
+
+    _qpns = itertools.count(100)
+    _registry: dict = {}
+
+    def __init__(self, node: "Node", qp_type: QPType,
+                 send_cq: CompletionQueue, recv_cq: CompletionQueue,
+                 max_inline: int = 188, max_send_wr: int = 1024,
+                 max_recv_wr: int = 4096, srq: "SharedReceiveQueue" = None):
+        if max_send_wr < 1 or max_recv_wr < 1:
+            raise QPError("queue depths must be >= 1")
+        self.node = node
+        self.qp_type = qp_type
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_inline = max_inline
+        self.max_send_wr = max_send_wr
+        self.max_recv_wr = max_recv_wr
+        self.srq = srq
+        if srq is not None and srq.node is not node:
+            raise QPError("SRQ belongs to another node")
+        self.qpn = next(self._qpns)
+        self.peer: Optional["QueuePair"] = None
+        self._recv_queue: Deque[Tuple[int, MemoryRegion, int, int]] = deque()
+        self.dropped_receives = 0
+        self.outstanding_sends = 0
+        # UD QPs are usable immediately; RC must connect (or modify_qp).
+        self.state = QPState.RTS if qp_type is QPType.UD else QPState.RESET
+        # Source addressing for UD replies (like the src fields of a wc).
+        self.inbound_sources: Deque[int] = deque()
+        QueuePair._registry[self.qpn] = self
+
+    @classmethod
+    def by_qpn(cls, qpn: int) -> "QueuePair":
+        """Resolve a QP number (e.g. a completion's source) to its QP."""
+        try:
+            return cls._registry[qpn]
+        except KeyError:
+            raise QPError(f"unknown QPN {qpn}") from None
+
+    # -- connection management ------------------------------------------------------
+
+    def modify_qp(self, new_state: QPState) -> None:
+        """Walk the QP state machine (ibv_modify_qp).
+
+        ERROR and RESET are reachable from anywhere; other transitions
+        must follow RESET -> INIT -> RTR -> RTS.
+        """
+        if new_state in (QPState.ERROR, QPState.RESET):
+            self.state = new_state
+            return
+        if new_state not in _TRANSITIONS[self.state]:
+            raise QPError(
+                f"illegal transition {self.state.value} -> {new_state.value}")
+        self.state = new_state
+
+    def connect(self, peer: "QueuePair") -> None:
+        """Bring an RC pair to RTS; both ends become connected."""
+        if self.qp_type is not QPType.RC:
+            raise QPError("only RC QPs are connected")
+        if peer.qp_type is not QPType.RC:
+            raise QPError("peer is not an RC QP")
+        if self.peer is not None or peer.peer is not None:
+            raise QPError("QP already connected")
+        for qp in (self, peer):
+            if qp.state is not QPState.RESET:
+                raise QPError(f"cannot connect a QP in state {qp.state.value}")
+        self.peer = peer
+        peer.peer = self
+        for qp in (self, peer):
+            qp.state = QPState.RTS
+
+    def _require_peer(self) -> "QueuePair":
+        if self.peer is None:
+            raise QPError("RC QP is not connected")
+        return self.peer
+
+    @property
+    def cluster(self):
+        return self.node.cluster
+
+    @property
+    def sim(self):
+        return self.node.cluster.sim
+
+    # -- receive side ---------------------------------------------------------------
+
+    def post_recv(self, wr_id: int, mr: MemoryRegion, offset: int = 0,
+                  length: Optional[int] = None) -> None:
+        """Queue a receive buffer for inbound SENDs."""
+        if self.srq is not None:
+            raise QPError("QP uses an SRQ; post receives there")
+        if self.state is QPState.RESET:
+            raise QPError("cannot post receives on a RESET QP")
+        if mr.node is not self.node:
+            raise AccessError("recv MR belongs to another node")
+        length = mr.length - offset if length is None else length
+        if length <= 0 or offset < 0 or offset + length > mr.length:
+            raise QPError(f"bad recv buffer [{offset}, {offset + length})")
+        if len(self._recv_queue) >= self.max_recv_wr:
+            raise QPError(f"receive queue full ({self.max_recv_wr})")
+        self._recv_queue.append((wr_id, mr, offset, length))
+
+    @property
+    def recv_queue_depth(self) -> int:
+        if self.srq is not None:
+            return len(self.srq)
+        return len(self._recv_queue)
+
+    # -- send side --------------------------------------------------------------------
+
+    def post_read(self, wr_id: int, local_mr: MemoryRegion,
+                  remote_mr: MemoryRegion, length: int,
+                  local_offset: int = 0, remote_offset: int = 0,
+                  rkey: Optional[int] = None, signaled: bool = True,
+                  posting_delay: Optional[float] = None) -> Process:
+        """One-sided READ: pull remote bytes into the local buffer."""
+        self._check_one_sided(local_mr, length)
+        if not self._admit_send(wr_id, WorkOpcode.READ):
+            return self._flushed()
+        rkey = remote_mr.rkey if rkey is None else rkey
+        return self.sim.process(self._run_one_sided(
+            WorkOpcode.READ, wr_id, local_mr, local_offset, remote_mr,
+            remote_offset, length, rkey, signaled, posting_delay))
+
+    def post_write(self, wr_id: int, local_mr: MemoryRegion,
+                   remote_mr: MemoryRegion, length: int,
+                   local_offset: int = 0, remote_offset: int = 0,
+                   rkey: Optional[int] = None, signaled: bool = True,
+                   posting_delay: Optional[float] = None) -> Process:
+        """One-sided WRITE: push local bytes into the remote buffer."""
+        self._check_one_sided(local_mr, length)
+        if not self._admit_send(wr_id, WorkOpcode.WRITE):
+            return self._flushed()
+        rkey = remote_mr.rkey if rkey is None else rkey
+        return self.sim.process(self._run_one_sided(
+            WorkOpcode.WRITE, wr_id, local_mr, local_offset, remote_mr,
+            remote_offset, length, rkey, signaled, posting_delay))
+
+    def post_send(self, wr_id: int, data: bytes,
+                  dest: Optional["QueuePair"] = None, signaled: bool = True,
+                  posting_delay: Optional[float] = None) -> Process:
+        """Two-sided SEND of ``data`` to the peer (RC) or ``dest`` (UD)."""
+        if self.qp_type is QPType.RC:
+            if dest is not None and dest is not self.peer:
+                raise QPError("RC SEND goes to the connected peer")
+            target = self._require_peer()
+        else:
+            if dest is None:
+                raise QPError("UD SEND needs an explicit destination QP")
+            target = dest
+        if not self._admit_send(wr_id, WorkOpcode.SEND):
+            return self._flushed()
+        return self.sim.process(self._run_send(
+            wr_id, data, target, signaled, posting_delay))
+
+    # -- checks -----------------------------------------------------------------------
+
+    def _check_one_sided(self, local_mr: MemoryRegion, length: int) -> None:
+        if self.qp_type is not QPType.RC:
+            raise QPError("one-sided verbs need an RC QP")
+        self._require_peer()
+        if local_mr.node is not self.node:
+            raise AccessError("local MR belongs to another node")
+        if length < 0:
+            raise QPError(f"negative length: {length}")
+
+    def _admit_send(self, wr_id: int, opcode: WorkOpcode) -> bool:
+        """Send-queue admission: depth limit and error-state flushing.
+
+        Returns False when the WR must flush instead of executing.
+        """
+        if self.state is QPState.ERROR:
+            self.send_cq.push(Completion(
+                wr_id=wr_id, opcode=opcode,
+                status=CompletionStatus.FLUSH_ERROR, byte_len=0,
+                timestamp=self.sim.now))
+            return False
+        if self.state is not QPState.RTS:
+            raise QPError(f"cannot post sends in state {self.state.value}")
+        if self.outstanding_sends >= self.max_send_wr:
+            raise QPError(f"send queue full ({self.max_send_wr})")
+        self.outstanding_sends += 1
+        return True
+
+    def _flushed(self) -> Process:
+        """A no-op process standing in for a flushed work request."""
+        def nothing():
+            return None
+            yield  # pragma: no cover - makes this a generator
+        return self.sim.process(nothing())
+
+    def _posting(self, posting_delay: Optional[float]) -> float:
+        if posting_delay is not None:
+            return posting_delay
+        return self.node.cpu.posting_latency()
+
+    def _complete(self, wr_id: int, opcode: WorkOpcode, nbytes: int,
+                  signaled: bool,
+                  status: CompletionStatus = CompletionStatus.SUCCESS) -> None:
+        self.outstanding_sends = max(0, self.outstanding_sends - 1)
+        if status is CompletionStatus.REMOTE_ACCESS_ERROR:
+            # A fatal RC error wedges the QP (ibv semantics).
+            self.state = QPState.ERROR
+        if signaled or status is not CompletionStatus.SUCCESS:
+            self.send_cq.push(Completion(wr_id=wr_id, opcode=opcode,
+                                         status=status, byte_len=nbytes,
+                                         timestamp=self.sim.now))
+
+    # -- execution processes -------------------------------------------------------------
+
+    def _run_one_sided(self, opcode: WorkOpcode, wr_id: int,
+                       local_mr: MemoryRegion, local_offset: int,
+                       remote_mr: MemoryRegion, remote_offset: int,
+                       length: int, rkey: int, signaled: bool,
+                       posting_delay: Optional[float]):
+        cluster = self.cluster
+        peer = self._require_peer()
+        yield self.sim.timeout(self._posting(posting_delay))
+
+        requester, responder = self.node, peer.node
+        # Path-3 semantics apply only within one server; host/SoC pairs
+        # on different servers are ordinary remote peers over the fabric.
+        intra = requester.same_server_as(responder)
+        if intra:
+            # The requester-side processing happens on the (shared)
+            # server NIC pipeline.
+            yield from transport.server_nic_stage(cluster, requester)
+        else:
+            yield self.sim.timeout(
+                transport.nic_pipeline_delay(cluster, self.node))
+        try:
+            if intra:
+                yield from self._one_sided_intra(
+                    opcode, local_mr, local_offset, remote_mr,
+                    remote_offset, length, rkey)
+            else:
+                yield from self._one_sided_network(
+                    opcode, local_mr, local_offset, remote_mr,
+                    remote_offset, length, rkey, responder)
+        except AccessError:
+            self._complete(wr_id, opcode, 0, True,
+                           CompletionStatus.REMOTE_ACCESS_ERROR)
+            return
+        if intra:
+            yield self.sim.timeout(
+                transport.nic_pipeline_delay(cluster, self.node))
+        self._complete(wr_id, opcode, length, signaled)
+
+    def _one_sided_network(self, opcode, local_mr, local_offset, remote_mr,
+                           remote_offset, length, rkey, responder):
+        cluster = self.cluster
+        if opcode is WorkOpcode.READ:
+            # Request packet over, DMA read at the server, data back.
+            yield from transport.network_transfer(cluster, self.node,
+                                                  responder, 0)
+            yield from transport.server_nic_stage(cluster, responder)
+            yield from transport.server_dma_read(cluster, responder, length)
+            data = remote_mr.dma_read(remote_offset, length, rkey)
+            yield from transport.network_transfer(cluster, responder,
+                                                  self.node, length)
+            local_mr.write_local(local_offset, data)
+        else:
+            # Data over, posted DMA write at the server, ack back.
+            data = local_mr.read_local(local_offset, length)
+            yield from transport.network_transfer(cluster, self.node,
+                                                  responder, length)
+            yield from transport.server_nic_stage(cluster, responder)
+            yield from transport.server_dma_write(cluster, responder, length)
+            remote_mr.dma_write(remote_offset, data, rkey)
+            yield from transport.network_transfer(cluster, responder,
+                                                  self.node, 0)
+
+    def _one_sided_intra(self, opcode, local_mr, local_offset, remote_mr,
+                         remote_offset, length, rkey):
+        """Path ③: host <-> SoC through the internal fabric only.
+
+        On top of the data legs, the doorbell MMIO crosses the fabric to
+        the NIC (posted: half a traversal latency-visible) and the CQE
+        crosses back to the requester's memory.
+        """
+        cluster = self.cluster
+        local_node = self.node
+        remote_node = self.peer.node
+        snic = cluster.server_of(local_node).snic
+        crossing = snic.crossing_latency(local_node.endpoint)
+        yield self.sim.timeout(0.5 * crossing)  # doorbell to the NIC
+        if opcode is WorkOpcode.READ:
+            data = remote_mr.dma_read(remote_offset, length, rkey)
+            yield from transport.intra_machine_transfer(
+                cluster, remote_node, local_node, length)
+            local_mr.write_local(local_offset, data)
+        else:
+            data = local_mr.read_local(local_offset, length)
+            yield from transport.intra_machine_transfer(
+                cluster, local_node, remote_node, length)
+            remote_mr.dma_write(remote_offset, data, rkey)
+        yield self.sim.timeout(crossing)  # CQE back to requester memory
+
+    def _run_send(self, wr_id: int, data: bytes, target: "QueuePair",
+                  signaled: bool, posting_delay: Optional[float]):
+        cluster = self.cluster
+        yield self.sim.timeout(self._posting(posting_delay))
+        yield self.sim.timeout(transport.nic_pipeline_delay(cluster, self.node))
+        responder = target.node
+        if self.node.same_server_as(responder):
+            yield from transport.intra_machine_transfer(
+                cluster, self.node, responder, len(data))
+        else:
+            yield from transport.network_transfer(cluster, self.node,
+                                                  responder, len(data))
+            if responder.on_server:
+                yield from transport.server_nic_stage(cluster, responder)
+                yield from transport.server_dma_write(
+                    cluster, responder, len(data))
+        target._deliver(data, self.qpn)
+        self._complete(wr_id, WorkOpcode.SEND, len(data), signaled)
+
+    def _deliver(self, data: bytes, src_qpn: int) -> None:
+        """Land an inbound SEND in the next posted receive buffer."""
+        queue = self._recv_queue if self.srq is None else self.srq.queue
+        if not queue:
+            self.dropped_receives += 1
+            return
+        wr_id, mr, offset, capacity = queue.popleft()
+        if len(data) > capacity:
+            self.dropped_receives += 1
+            self.recv_cq.push(Completion(
+                wr_id=wr_id, opcode=WorkOpcode.RECV,
+                status=CompletionStatus.LOCAL_PROTECTION_ERROR,
+                byte_len=0, timestamp=self.sim.now))
+            return
+        mr.write_local(offset, data)
+        self.inbound_sources.append(src_qpn)
+        self.recv_cq.push(Completion(
+            wr_id=wr_id, opcode=WorkOpcode.RECV,
+            status=CompletionStatus.SUCCESS, byte_len=len(data),
+            timestamp=self.sim.now))

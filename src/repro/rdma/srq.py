@@ -1,0 +1,42 @@
+"""Shared receive queues (SRQ).
+
+A pool of receive buffers shared by many QPs — the standard way RDMA
+servers avoid per-connection receive provisioning.  QPs created with
+``srq=...`` consume buffers from the shared pool in arrival order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple, TYPE_CHECKING
+
+from repro.rdma.mr import AccessError, MemoryRegion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.cluster import Node
+
+
+class SharedReceiveQueue:
+    """A node-local pool of posted receive buffers."""
+
+    def __init__(self, node: "Node", max_wr: int = 4096):
+        if max_wr < 1:
+            raise ValueError(f"SRQ depth must be >= 1: {max_wr}")
+        self.node = node
+        self.max_wr = max_wr
+        self.queue: Deque[Tuple[int, MemoryRegion, int, int]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def post_recv(self, wr_id: int, mr: MemoryRegion, offset: int = 0,
+                  length: Optional[int] = None) -> None:
+        """Add one receive buffer to the shared pool."""
+        if mr.node is not self.node:
+            raise AccessError("SRQ buffer belongs to another node")
+        length = mr.length - offset if length is None else length
+        if length <= 0 or offset < 0 or offset + length > mr.length:
+            raise ValueError(f"bad SRQ buffer [{offset}, {offset + length})")
+        if len(self.queue) >= self.max_wr:
+            raise OverflowError(f"SRQ full ({self.max_wr})")
+        self.queue.append((wr_id, mr, offset, length))

@@ -1,0 +1,113 @@
+"""Transport processes: how a verb physically executes on the cluster.
+
+Each helper is a generator meant to run inside the simulation; it yields
+channel transfers and DMA processes in the order the hardware would
+issue them (Fig 3), and moves the actual bytes at the right instant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.nic.core import Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.cluster import Node, SimCluster
+
+
+def network_wire_bytes(payload: int, cluster: "SimCluster") -> int:
+    """Wire bytes of a network message carrying ``payload``."""
+    spec = cluster.server_cores
+    packets = max(1, math.ceil(payload / spec.network_mtu))
+    return payload + packets * spec.net_header_bytes
+
+
+def network_transfer(cluster: "SimCluster", src: "Node", dst: "Node",
+                     payload: int):
+    """Move a message between two nodes over the fabric (a process)."""
+    wire = network_wire_bytes(payload, cluster)
+    # Convention: forward = toward the switch on client links, toward
+    # the server on server links.
+    if src.kind == "client":
+        yield cluster.channel(src).send(wire, forward=True)
+    else:
+        yield cluster.channel(src).send(wire, forward=False)
+    if dst.kind == "client":
+        yield cluster.channel(dst).send(wire, forward=False)
+    else:
+        yield cluster.channel(dst).send(wire, forward=True)
+    return payload
+
+
+def nic_pipeline_delay(cluster: "SimCluster", node: "Node") -> float:
+    """Per-request NIC pipeline time at a node's NIC."""
+    if node.on_server:
+        return cluster.server_of(node).cores.pipeline_ns
+    return cluster.testbed.client_nic.cores.pipeline_ns
+
+
+def server_nic_stage(cluster: "SimCluster", node: "Node" = None):
+    """One verb's trip through a server NIC's processing pipeline.
+
+    Occupies one of the NIC's processing units for the per-op service
+    time (so concurrent load saturates at the spec's verb rate), then
+    spends the remaining pipeline latency unoccupied.  ``node`` selects
+    the server (any of its nodes); default is server 0.
+    """
+    server = (cluster.server_of(node) if node is not None
+              else cluster.servers["server0"])
+    service = server.service_ns
+    grant = server.pipeline.request()
+    yield grant
+    try:
+        yield cluster.sim.timeout(service)
+    finally:
+        server.pipeline.release()
+    remaining = server.cores.pipeline_ns - service
+    if remaining > 0:
+        yield cluster.sim.timeout(remaining)
+    return None
+
+
+def server_dma_read(cluster: "SimCluster", target, length: int):
+    """A server NIC DMA-reads ``length`` bytes from ``target`` memory.
+
+    ``target`` is a server-side node or (single-server shorthand) an
+    endpoint resolved on server 0.
+    """
+    if length == 0:
+        return 0
+    engine, route, mps = cluster.dma_route(target)
+    yield engine.dma_read(route, length, mps)
+    return length
+
+
+def server_dma_write(cluster: "SimCluster", target, length: int):
+    """A server NIC DMA-writes ``length`` bytes into ``target`` memory."""
+    if length == 0:
+        return 0
+    engine, route, mps = cluster.dma_route(target)
+    yield engine.dma_write(route, length, mps)
+    return length
+
+
+def intra_machine_transfer(cluster: "SimCluster", source: "Node",
+                           sink: "Node", length: int):
+    """Path ③ data movement: fetch from ``source``, deliver to ``sink``.
+
+    Both legs run through the same server's NIC, crossing its PCIe1
+    twice in total (§3.3).  ``source``/``sink`` are that server's host
+    and SoC nodes (either order); endpoint shorthands resolve on
+    server 0.
+    """
+    from repro.nic.core import Endpoint as _Endpoint
+
+    source_end = source if isinstance(source, _Endpoint) else source.endpoint
+    sink_end = sink if isinstance(sink, _Endpoint) else sink.endpoint
+    if source_end is sink_end:
+        raise ValueError("path-3 transfer needs distinct endpoints")
+    if length:
+        yield from server_dma_read(cluster, source, length)
+        yield from server_dma_write(cluster, sink, length)
+    return length

@@ -1,0 +1,65 @@
+"""The top-level verbs facade: device/PD/QP management per cluster."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.net.cluster import Node, SimCluster
+from repro.rdma.cq import CompletionQueue
+from repro.rdma.mr import MemoryRegion, ProtectionDomain
+from repro.rdma.qp import QPType, QueuePair
+from repro.rdma.srq import SharedReceiveQueue
+
+
+class RdmaContext:
+    """Opens the cluster's RDMA devices and manages PDs, CQs and QPs."""
+
+    def __init__(self, cluster: SimCluster):
+        self.cluster = cluster
+        self._pds: Dict[str, ProtectionDomain] = {}
+
+    # -- memory ----------------------------------------------------------------
+
+    def pd(self, node_name: str) -> ProtectionDomain:
+        """The protection domain of a node (created on first use)."""
+        if node_name not in self._pds:
+            self._pds[node_name] = ProtectionDomain(
+                self.cluster.node(node_name))
+        return self._pds[node_name]
+
+    def reg_mr(self, node_name: str, length: int) -> MemoryRegion:
+        """Register a buffer on a node."""
+        return self.pd(node_name).reg_mr(length)
+
+    # -- queue pairs --------------------------------------------------------------
+
+    def create_cq(self, node_name: str, depth: int = 4096) -> CompletionQueue:
+        self.cluster.node(node_name)  # validates the name
+        return CompletionQueue(self.cluster.sim, depth)
+
+    def create_qp(self, node_name: str, qp_type: QPType = QPType.RC,
+                  send_cq: Optional[CompletionQueue] = None,
+                  recv_cq: Optional[CompletionQueue] = None,
+                  srq: Optional[SharedReceiveQueue] = None) -> QueuePair:
+        node = self.cluster.node(node_name)
+        send_cq = send_cq or CompletionQueue(self.cluster.sim)
+        recv_cq = recv_cq or CompletionQueue(self.cluster.sim)
+        return QueuePair(node, qp_type, send_cq, recv_cq, srq=srq)
+
+    def create_srq(self, node_name: str, max_wr: int = 4096) -> SharedReceiveQueue:
+        """A shared receive queue on a node."""
+        return SharedReceiveQueue(self.cluster.node(node_name), max_wr)
+
+    def connect_rc(self, requester: str,
+                   responder: str) -> Tuple[QueuePair, QueuePair]:
+        """Create and connect an RC pair; returns (requester_qp, responder_qp)."""
+        qp_a = self.create_qp(requester, QPType.RC)
+        qp_b = self.create_qp(responder, QPType.RC)
+        qp_a.connect(qp_b)
+        return qp_a, qp_b
+
+    def create_ud_pair(self, requester: str,
+                       responder: str) -> Tuple[QueuePair, QueuePair]:
+        """Two unconnected UD QPs (requester addresses responder explicitly)."""
+        return (self.create_qp(requester, QPType.UD),
+                self.create_qp(responder, QPType.UD))

@@ -1,0 +1,53 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free SimPy-style engine: an event queue ordered by
+simulated time (nanoseconds), coroutine *processes* that ``yield`` events,
+and a library of resources (FIFO resources, stores, bandwidth channels)
+plus measurement monitors.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name):
+...     yield sim.timeout(10)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a"))
+>>> _ = sim.process(worker(sim, "b"))
+>>> sim.run()
+>>> log
+[(10.0, 'a'), (10.0, 'b')]
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError, Interrupt
+from repro.sim.events import Event, Timeout, AllOf, AnyOf, URGENT, NORMAL, LOW
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+from repro.sim.links import SimplexChannel, DuplexChannel
+from repro.sim.monitor import Counter, RateMeter, Histogram, TimeWeighted
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+    "Process",
+    "Resource",
+    "Store",
+    "SimplexChannel",
+    "DuplexChannel",
+    "Counter",
+    "RateMeter",
+    "Histogram",
+    "TimeWeighted",
+    "RandomStreams",
+]

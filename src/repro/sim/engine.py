@@ -1,0 +1,101 @@
+"""The event loop: a time-ordered queue of events and the simulated clock."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event, Timeout, NORMAL
+from repro.sim.process import Process
+
+
+class Simulator:
+    """A discrete-event simulator with a nanosecond clock.
+
+    Events are executed in ``(time, priority, insertion order)`` order,
+    so simultaneous events are deterministic.
+    """
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self._event_count: int = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events fired so far (a cheap progress metric)."""
+        return self._event_count
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None,
+                priority: int = NORMAL) -> Timeout:
+        """An event firing ``delay`` ns from now."""
+        return Timeout(self, delay, value, priority)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a coroutine process; returns its completion event."""
+        return Process(self, generator)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- running -----------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Pop and fire exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        self._event_count += 1
+        event._fire()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` ns is reached, or
+        ``max_events`` more events have fired.
+
+        ``until`` is an absolute simulated timestamp.  When the run stops
+        because of ``until``, the clock is advanced to exactly ``until``.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        fired = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            if max_events is not None and fired >= max_events:
+                return
+            self.step()
+            fired += 1
+        if until is not None:
+            self._now = until

@@ -1,0 +1,176 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot future living inside a single
+:class:`~repro.sim.engine.Simulator`.  Processes ``yield`` events to wait
+on them; arbitrary callbacks may also be attached.  Events can *succeed*
+(carrying a value) or *fail* (carrying an exception which is re-raised in
+every waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.sim.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+# Scheduling priorities: lower sorts earlier at equal timestamps.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot triggerable future bound to a simulator."""
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._scheduled = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the event failed."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0,
+                priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully, firing after ``delay`` ns."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0,
+             priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def _fire(self) -> None:
+        """Run callbacks.  Called by the engine when the event is popped."""
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback(event)``; runs immediately if already fired."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` ns after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 priority: int = NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._schedule(self, delay, priority)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events of two simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+        else:
+            for event in self.events:
+                event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child has fired; value is the list of child values.
+
+    Fails as soon as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child fires; value is that child's value."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self.succeed(event.value)

@@ -1,0 +1,111 @@
+"""Shared resources: counted resources and FIFO item stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, TYPE_CHECKING
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted units."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """An event that fires when one unit is granted to the caller."""
+        grant = Event(self.sim)
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one unit; hands it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of items with blocking get/put."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Fires once the item is accepted (immediately unless full)."""
+        done = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            done.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            done.succeed()
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def get(self) -> Event:
+        """Fires with the oldest item once one is available."""
+        got = Event(self.sim)
+        if self._items:
+            got.succeed(self._items.popleft())
+            if self._putters:
+                done, item = self._putters.popleft()
+                self._items.append(item)
+                done.succeed()
+        else:
+            self._getters.append(got)
+        return got

@@ -1,0 +1,114 @@
+"""Hardware-counter telemetry for the simulated cluster.
+
+The paper's PCIe analysis leans on Bluefield's performance-monitoring
+counters (its ref [29]); this module is their simulated equivalent:
+point-in-time snapshots of every link's TLP/byte counters, deltas
+between snapshots, and rate reports — so experiments can be instrumented
+the way the authors instrumented the real device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.report import format_table
+from repro.net.cluster import SimCluster
+from repro.units import to_gbps
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """All counters at one simulated instant."""
+
+    timestamp: float
+    counters: Dict[str, float]
+
+    def __sub__(self, earlier: "CounterSnapshot") -> "CounterDelta":
+        if earlier.timestamp > self.timestamp:
+            raise ValueError("snapshot order reversed")
+        deltas = {key: self.counters.get(key, 0.0) - value
+                  for key, value in earlier.counters.items()}
+        for key, value in self.counters.items():
+            deltas.setdefault(key, value)
+        return CounterDelta(elapsed_ns=self.timestamp - earlier.timestamp,
+                            deltas=deltas)
+
+
+@dataclass(frozen=True)
+class CounterDelta:
+    """Counter movement over a window."""
+
+    elapsed_ns: float
+    deltas: Dict[str, float]
+
+    def rate(self, key: str) -> float:
+        """Events (or bytes) per ns for one counter."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.deltas.get(key, 0.0) / self.elapsed_ns
+
+    def mpps(self, key: str) -> float:
+        """A TLP counter's rate in millions of packets per second."""
+        return self.rate(key) * 1e3
+
+    def gbps(self, key: str) -> float:
+        """A byte counter's rate in Gbps."""
+        return to_gbps(self.rate(key))
+
+
+class Telemetry:
+    """Reads the cluster's counters like a monitoring agent would."""
+
+    def __init__(self, cluster: SimCluster):
+        self.cluster = cluster
+
+    def snapshot(self) -> CounterSnapshot:
+        """Capture every link counter at the current simulated time."""
+        counters: Dict[str, float] = {}
+        snic = self.cluster.snic
+        if snic is not None:
+            for name, link in (("pcie1", snic.pcie1), ("pcie0", snic.pcie0)):
+                counters[f"{name}.tlps_to_nic"] = link.tlps_fwd.total
+                counters[f"{name}.tlps_to_endpoint"] = link.tlps_rev.total
+                counters[f"{name}.bytes"] = link.total_data_bytes
+                counters[f"{name}.tlps"] = link.total_tlps
+        else:
+            link = self.cluster.rnic.host_link
+            counters["hostlink.tlps"] = link.total_tlps
+            counters["hostlink.bytes"] = link.total_data_bytes
+        server = self.cluster.server_channel
+        counters["net.server.tx_bytes"] = server.fwd.bytes_sent.total
+        counters["net.server.rx_bytes"] = server.rev.bytes_sent.total
+        for node in self.cluster.clients():
+            channel = self.cluster.channel(node)
+            counters[f"net.{node.name}.tx_bytes"] = (
+                channel.fwd.bytes_sent.total)
+            counters[f"net.{node.name}.rx_bytes"] = (
+                channel.rev.bytes_sent.total)
+        counters["nic.pipeline_in_use"] = self.cluster.nic_pipeline.in_use
+        counters["nic.pipeline_queued"] = (
+            self.cluster.nic_pipeline.queue_length)
+        return CounterSnapshot(timestamp=self.cluster.sim.now,
+                               counters=dict(sorted(counters.items())))
+
+    def report(self, start: CounterSnapshot,
+               end: CounterSnapshot) -> str:
+        """A formatted rate table over a window (Mpps for TLPs, Gbps
+        for bytes, raw deltas otherwise)."""
+        delta = end - start
+        rows = []
+        for key in sorted(delta.deltas):
+            moved = delta.deltas[key]
+            if moved == 0:
+                continue
+            if key.endswith("bytes"):
+                value = f"{delta.gbps(key):.2f} Gbps"
+            elif "tlps" in key:
+                value = f"{delta.mpps(key):.2f} Mpps"
+            else:
+                value = f"{moved:g}"
+            rows.append([key, f"{moved:g}", value])
+        window_us = delta.elapsed_ns / 1000
+        return format_table(["counter", "delta", "rate"], rows,
+                            title=f"counters over {window_us:.1f} us")

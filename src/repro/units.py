@@ -1,0 +1,114 @@
+"""Unit conventions and conversion helpers used across the library.
+
+The whole code base uses a single internal unit system:
+
+* **time** — nanoseconds (``float``),
+* **size** — bytes (``int``),
+* **bandwidth** — bytes per nanosecond (``float``; numerically equal to
+  GB/s, which keeps calibration constants readable),
+* **rates** — events per nanosecond internally, exposed to users as
+  per-second values through the helpers below.
+
+Every public API that accepts or returns a physical quantity says so in
+its docstring; these helpers are the only sanctioned way to convert.
+"""
+
+from __future__ import annotations
+
+# -- size ------------------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# -- time ------------------------------------------------------------------
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SEC = 1_000_000_000.0
+
+
+def ns_to_us(ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / US
+
+
+def us_to_ns(us: float) -> float:
+    """Convert microseconds to nanoseconds."""
+    return us * US
+
+
+# -- bandwidth ---------------------------------------------------------------
+
+
+def gbps(gigabits_per_second: float) -> float:
+    """Convert a link speed in Gbps to internal bytes/ns.
+
+    1 Gbps = 0.125 GB/s = 0.125 bytes/ns.
+    """
+    return gigabits_per_second / 8.0
+
+
+def to_gbps(bytes_per_ns: float) -> float:
+    """Convert internal bytes/ns back to Gbps."""
+    return bytes_per_ns * 8.0
+
+
+def gib_per_s(gibibytes_per_second: float) -> float:
+    """Convert GiB/s (memory-vendor convention) to bytes/ns."""
+    return gibibytes_per_second * GB / SEC
+
+
+# -- rates -------------------------------------------------------------------
+
+
+def mpps(millions_per_second: float) -> float:
+    """Convert a packet/request rate in Mpps to events per nanosecond."""
+    return millions_per_second * 1e6 / SEC
+
+
+def to_mpps(events_per_ns: float) -> float:
+    """Convert events/ns to millions of events per second."""
+    return events_per_ns * SEC / 1e6
+
+
+def mrps(millions_per_second: float) -> float:
+    """Alias of :func:`mpps` for request (not packet) rates."""
+    return mpps(millions_per_second)
+
+
+def to_mrps(events_per_ns: float) -> float:
+    """Alias of :func:`to_mpps` for request (not packet) rates."""
+    return to_mpps(events_per_ns)
+
+
+def per_second(events_per_ns: float) -> float:
+    """Convert events/ns to events/s."""
+    return events_per_ns * SEC
+
+
+# -- formatting --------------------------------------------------------------
+
+
+def fmt_size(nbytes: float) -> str:
+    """Human-readable byte size (``4.0KB``, ``9MB`` ...)."""
+    if nbytes >= GB:
+        return f"{nbytes / GB:g}GB"
+    if nbytes >= MB:
+        return f"{nbytes / MB:g}MB"
+    if nbytes >= KB:
+        return f"{nbytes / KB:g}KB"
+    return f"{nbytes:g}B"
+
+
+def fmt_gbps(bytes_per_ns: float) -> str:
+    """Format a bandwidth as Gbps with one decimal."""
+    return f"{to_gbps(bytes_per_ns):.1f} Gbps"
+
+
+def fmt_ns(ns: float) -> str:
+    """Format a duration, picking ns or us as appropriate."""
+    if ns >= US:
+        return f"{ns / US:.2f} us"
+    return f"{ns:.0f} ns"

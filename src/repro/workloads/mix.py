@@ -1,0 +1,55 @@
+"""Operation mixes and request streams."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.paths import Opcode
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """A read/write/send probability mix."""
+
+    read: float = 0.5
+    write: float = 0.5
+    send: float = 0.0
+
+    def __post_init__(self):
+        total = self.read + self.write + self.send
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"mix must sum to 1, got {total}")
+        if min(self.read, self.write, self.send) < 0:
+            raise ValueError("mix fractions must be >= 0")
+
+    def sample(self, rng: random.Random) -> Opcode:
+        roll = rng.random()
+        if roll < self.read:
+            return Opcode.READ
+        if roll < self.read + self.write:
+            return Opcode.WRITE
+        return Opcode.SEND
+
+
+class RequestStream:
+    """An endless deterministic stream of (opcode, payload, address)."""
+
+    def __init__(self, mix: OpMix, pattern, seed: int = 0):
+        self.mix = mix
+        self.pattern = pattern
+        self.rng = random.Random(seed)
+
+    def __iter__(self) -> Iterator:
+        return self
+
+    def __next__(self):
+        opcode = self.mix.sample(self.rng)
+        return opcode, self.pattern.payload, self.pattern.next()
+
+    def take(self, n: int):
+        """The next ``n`` requests as a list."""
+        if n < 0:
+            raise ValueError(f"negative count: {n}")
+        return [next(self) for _ in range(n)]

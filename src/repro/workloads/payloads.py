@@ -1,0 +1,41 @@
+"""The parameter grids the paper's figures sweep."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import KB, MB, GB
+
+
+def power_of_two_sweep(start: int, end: int) -> List[int]:
+    """Powers of two from ``start`` to ``end`` inclusive."""
+    if start <= 0 or end < start:
+        raise ValueError(f"bad sweep bounds: [{start}, {end}]")
+    values = []
+    value = start
+    while value <= end:
+        values.append(value)
+        value *= 2
+    return values
+
+
+# Fig 4: small-to-medium payloads for latency and peak throughput.
+FIG4_PAYLOADS = power_of_two_sweep(16, 16 * KB)
+
+# Fig 7: responder address ranges, 1.5 KB up to 10 GB.
+FIG7_RANGES = [1536, 3 * KB, 6 * KB, 12 * KB, 24 * KB, 48 * KB, 96 * KB,
+               192 * KB, 768 * KB, 3 * MB, 48 * MB, 768 * MB, 10 * GB]
+
+# Fig 8: payloads into the head-of-line collapse region (> 9 MB).
+FIG8_PAYLOADS = [64 * KB, 256 * KB, 1 * MB, 4 * MB, 8 * MB, 9 * MB,
+                 12 * MB, 16 * MB, 32 * MB, 64 * MB]
+
+# Fig 9: host<->SoC transfer sizes.
+FIG9_PAYLOADS = [16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB,
+                 64 * MB]
+
+# Fig 10(b): doorbell batch sizes.
+FIG10_BATCHES = [1, 8, 16, 32, 48, 64, 80]
+
+# Fig 11: requester machine counts.
+FIG11_MACHINES = list(range(1, 12))

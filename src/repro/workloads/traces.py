@@ -1,0 +1,138 @@
+"""Request traces: generation, JSONL (de)serialization, and replay.
+
+Experiments become reproducible artifacts: generate a trace once, save
+it, and replay it later — against the solver (as aggregate flows) or
+against the discrete-event cluster (request by request).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, Iterator, List, TextIO, Tuple
+
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request in a trace."""
+
+    path: str       # CommPath.value
+    op: str         # Opcode.value
+    payload: int
+    address: int
+
+    def __post_init__(self):
+        CommPath(self.path)  # validate early
+        Opcode(self.op)
+        if self.payload < 0 or self.address < 0:
+            raise ValueError("payload and address must be >= 0")
+
+    @property
+    def comm_path(self) -> CommPath:
+        return CommPath(self.path)
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode(self.op)
+
+
+class Trace:
+    """An ordered list of requests with round-trip serialization."""
+
+    def __init__(self, records: Iterable[TraceRecord] = ()):
+        self.records: List[TraceRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    # -- serialization ----------------------------------------------------------
+
+    def dump(self, handle: TextIO) -> None:
+        """Write one JSON object per line."""
+        for record in self.records:
+            handle.write(json.dumps(asdict(record)) + "\n")
+
+    @classmethod
+    def load(cls, handle: TextIO) -> "Trace":
+        records = []
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(TraceRecord(**json.loads(line)))
+            except (json.JSONDecodeError, TypeError) as exc:
+                raise ValueError(f"bad trace line {line_no}: {exc}") from exc
+        return cls(records)
+
+    # -- generation ---------------------------------------------------------------
+
+    @classmethod
+    def generate(cls, stream, path: CommPath, count: int) -> "Trace":
+        """Materialize ``count`` requests of a
+        :class:`~repro.workloads.mix.RequestStream` onto one path."""
+        if count < 0:
+            raise ValueError(f"negative count: {count}")
+        records = []
+        for opcode, payload, address in stream.take(count):
+            records.append(TraceRecord(path=path.value, op=opcode.value,
+                                       payload=payload, address=address))
+        return cls(records)
+
+    # -- analysis / replay -------------------------------------------------------------
+
+    def summarize(self) -> Dict[Tuple[str, str, int], int]:
+        """(path, op, payload) -> request count."""
+        counts: Dict[Tuple[str, str, int], int] = {}
+        for record in self.records:
+            key = (record.path, record.op, record.payload)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def footprint(self) -> int:
+        """Bytes of address space the trace touches (max extent)."""
+        if not self.records:
+            return 0
+        return max(r.address + max(1, r.payload) for r in self.records)
+
+    def as_flows(self, requesters: int = 11,
+                 min_share: float = 0.01) -> List[Flow]:
+        """Aggregate the trace into weighted solver flows.
+
+        Each distinct (path, op, payload) class becomes one flow whose
+        weight is its share of requests; classes below ``min_share`` are
+        folded away.  The responder range is the trace's footprint.
+        """
+        total = len(self.records)
+        if total == 0:
+            raise ValueError("empty trace")
+        range_bytes = max(float(self.footprint()),
+                          float(max(r.payload for r in self.records) or 1))
+        flows = []
+        for (path, op, payload), count in sorted(self.summarize().items()):
+            share = count / total
+            if share < min_share:
+                continue
+            comm_path = CommPath(path)
+            flows.append(Flow(
+                path=comm_path,
+                op=Opcode(op),
+                payload=payload,
+                requesters=requesters if not comm_path.intra_machine else 8,
+                range_bytes=max(range_bytes, payload or 1),
+                weight=share,
+                label=f"{path} {op} {payload}B ({share:.0%})",
+            ))
+        if not flows:
+            raise ValueError("min_share folded every class away")
+        return flows

@@ -1,0 +1,171 @@
+"""Tests for the budgeted log-shipping pipeline."""
+
+import pytest
+
+from repro.apps.logship import LogShipper, TokenBucket, WriterStats, client_writer
+from repro.net.cluster import SimCluster
+from repro.net.topology import paper_testbed
+from repro.rdma import RdmaContext
+from repro.units import KB, MB, gbps, to_gbps
+
+
+@pytest.fixture()
+def ctx():
+    return RdmaContext(SimCluster(paper_testbed()))
+
+
+# -- token bucket ---------------------------------------------------------------
+
+
+def test_token_bucket_burst_then_throttle():
+    bucket = TokenBucket(rate=1.0, burst=100)  # 1 B/ns
+    assert bucket.delay_for(100, now=0.0) == 0.0
+    assert bucket.delay_for(50, now=0.0) == pytest.approx(50.0)
+
+
+def test_token_bucket_refills_over_time():
+    bucket = TokenBucket(rate=2.0, burst=100)
+    bucket.delay_for(100, now=0.0)
+    # 50 ns later, 100 tokens are back (capped at burst).
+    assert bucket.delay_for(100, now=50.0) == 0.0
+
+
+def test_token_bucket_long_run_rate():
+    bucket = TokenBucket(rate=0.5, burst=10)
+    now = 0.0
+    consumed = 0
+    for _ in range(100):
+        delay = bucket.delay_for(10, now)
+        now += delay
+        consumed += 10
+    assert consumed / now == pytest.approx(0.5, rel=0.05)
+
+
+def test_token_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0, burst=10)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1, burst=0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1, burst=1).delay_for(-1, 0.0)
+
+
+# -- shipper ------------------------------------------------------------------------
+
+
+def test_ship_moves_log_segments(ctx):
+    host_log = ctx.reg_mr("host", 4 * MB)
+    host_log.write_local(0, b"log-entry-0!")
+    shipper = LogShipper(ctx, host_log, segment_bytes=1 * MB,
+                         budget_gbps=None)
+    proc = ctx.cluster.sim.process(shipper.ship(4 * MB))
+    ctx.cluster.sim.run()
+    assert proc.ok
+    assert shipper.stats.segments == 4
+    assert shipper.stats.shipped_bytes == 4 * MB
+    assert shipper.staging.read_local(0, 12) is not None
+
+
+def test_budget_throttles_shipping(ctx):
+    host_log = ctx.reg_mr("host", 8 * MB)
+    sim = ctx.cluster.sim
+
+    fast = LogShipper(ctx, host_log, segment_bytes=1 * MB, budget_gbps=None)
+    start = sim.now
+    proc = sim.process(fast.ship(8 * MB))
+    sim.run()
+    fast_elapsed = sim.now - start
+    assert proc.ok
+
+    slow = LogShipper(ctx, host_log, segment_bytes=1 * MB, budget_gbps=10.0)
+    start = sim.now
+    proc = sim.process(slow.ship(8 * MB))
+    sim.run()
+    slow_elapsed = sim.now - start
+    assert proc.ok
+    assert slow.stats.throttle_waits > 0
+    # 8 MB at 10 Gbps takes ~6.7 ms; unbudgeted runs at path-3 speed.
+    assert slow_elapsed > 2 * fast_elapsed
+    budgeted_goodput = to_gbps(slow.stats.goodput(slow_elapsed))
+    assert budgeted_goodput == pytest.approx(10.0, rel=0.20)
+
+
+def test_compression_cost_slows_shipping(ctx):
+    host_log = ctx.reg_mr("host", 2 * MB)
+    sim = ctx.cluster.sim
+    plain = LogShipper(ctx, host_log, budget_gbps=None)
+    start = sim.now
+    sim.process(plain.ship(2 * MB))
+    sim.run()
+    plain_elapsed = sim.now - start
+
+    heavy = LogShipper(ctx, host_log, budget_gbps=None,
+                       compress_ns_per_kb=50.0)
+    start = sim.now
+    sim.process(heavy.ship(2 * MB))
+    sim.run()
+    assert sim.now - start > plain_elapsed
+
+
+def test_ship_validation(ctx):
+    host_log = ctx.reg_mr("host", 1 * MB)
+    with pytest.raises(ValueError):
+        LogShipper(ctx, host_log, segment_bytes=0)
+    with pytest.raises(ValueError):
+        LogShipper(ctx, host_log, budget_gbps=0)
+    with pytest.raises(ValueError):
+        LogShipper(ctx, host_log, compress_ns_per_kb=-1)
+    shipper = LogShipper(ctx, host_log)
+    with pytest.raises(ValueError):
+        next(shipper.ship(0))
+    with pytest.raises(ValueError):
+        next(shipper.ship(2 * MB))
+
+
+# -- writers + shipper interference ----------------------------------------------------
+
+
+def test_client_writer_streams_into_log(ctx):
+    host_log = ctx.reg_mr("host", 1 * MB)
+    stats = WriterStats()
+    proc = ctx.cluster.sim.process(
+        client_writer(ctx, "client0", host_log, payload=4 * KB, count=50,
+                      stats=stats))
+    ctx.cluster.sim.run()
+    assert proc.ok
+    assert stats.writes == 50
+    assert stats.bytes_written == 200 * KB
+
+
+def test_unbudgeted_shipping_slows_client_writes(ctx):
+    """The S4 anomaly end-to-end on the simulation: path-3 traffic
+    sharing PCIe1 stretches the clients' write stream."""
+    sim = ctx.cluster.sim
+    host_log = ctx.reg_mr("host", 16 * MB)
+
+    def run_writers(with_shipper_budget):
+        stats = WriterStats()
+        writer = sim.process(client_writer(
+            ctx, "client0", host_log, payload=64 * KB, count=40,
+            stats=stats))
+        finished = {}
+        writer.add_callback(lambda _e: finished.setdefault("at", sim.now))
+        shipper = LogShipper(ctx, host_log, segment_bytes=1 * MB,
+                             budget_gbps=with_shipper_budget)
+        shipping = sim.process(shipper.ship(16 * MB))
+        start = sim.now
+        sim.run()
+        assert writer.ok and shipping.ok
+        return stats.goodput(finished["at"] - start)
+
+    baseline = run_writers(with_shipper_budget=10.0)
+    contended = run_writers(with_shipper_budget=None)
+    # Unbudgeted shipping steals PCIe1 from the clients' writes.
+    assert contended < baseline
+
+
+def test_writer_validation(ctx):
+    host_log = ctx.reg_mr("host", 1 * MB)
+    with pytest.raises(ValueError):
+        next(client_writer(ctx, "client0", host_log, payload=0, count=1,
+                           stats=WriterStats()))

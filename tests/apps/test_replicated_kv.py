@@ -1,0 +1,93 @@
+"""Tests for the two-server replicated KV store."""
+
+import pytest
+
+from repro.apps.kvstore import OffloadedKVClient
+from repro.apps.replicated_kv import ReplicatedKV, ReplicationLogFullError
+from repro.net.cluster import SimCluster
+from repro.net.topology import paper_testbed
+from repro.rdma import RdmaContext
+
+
+@pytest.fixture()
+def ctx():
+    return RdmaContext(SimCluster(paper_testbed(), n_servers=2))
+
+
+def settle(kv):
+    proc = kv.sim.process(kv.wait_replicated())
+    kv.sim.run()
+    assert proc.ok
+    return kv.stats
+
+
+def test_requires_two_servers():
+    single = RdmaContext(SimCluster(paper_testbed()))
+    with pytest.raises(ValueError):
+        ReplicatedKV(single)
+
+
+def test_put_replicates_to_the_peer_soc(ctx):
+    kv = ReplicatedKV(ctx)
+    kv.put(b"user:1", b"alice")
+    kv.put(b"user:2", b"bob")
+    stats = settle(kv)
+    assert stats.puts == stats.applied == 2
+    assert kv.primary.get_local(b"user:1") == b"alice"
+    assert kv.replica.get_local(b"user:1") == b"alice"
+    assert kv.replica.get_local(b"user:2") == b"bob"
+
+
+def test_replication_lag_is_microseconds(ctx):
+    kv = ReplicatedKV(ctx)
+    for i in range(10):
+        kv.put(f"k{i}".encode(), b"v" * 32)
+    stats = settle(kv)
+    # Path 3 pull + fabric relay + apply: a few us per entry, unloaded.
+    assert 1_000 < stats.lag.mean < 50_000
+    assert stats.lag.max < 200_000
+
+
+def test_replica_serves_offloaded_gets(ctx):
+    kv = ReplicatedKV(ctx)
+    kv.put(b"city", b"shanghai")
+    settle(kv)
+    reader = OffloadedKVClient(ctx, "client0", kv.replica)
+    result = {}
+    proc = ctx.cluster.sim.process(reader.get(b"city"))
+    proc.add_callback(lambda e: result.setdefault("v", e.value))
+    ctx.cluster.sim.run()
+    assert result["v"] == b"shanghai"
+    assert reader.stats.round_trips_per_get == 1
+
+
+def test_budget_throttles_replication(ctx):
+    kv = ReplicatedKV(ctx, budget_gbps=0.5)
+    for i in range(20):
+        kv.put(f"k{i}".encode(), b"v" * 1024)
+    stats = settle(kv)
+    unlimited = ReplicatedKV(RdmaContext(
+        SimCluster(paper_testbed(), n_servers=2)), budget_gbps=None)
+    for i in range(20):
+        unlimited.put(f"k{i}".encode(), b"v" * 1024)
+    fast = settle(unlimited)
+    assert stats.lag.mean > fast.lag.mean
+
+
+def test_log_wrap_when_fully_shipped(ctx):
+    # 48 B entries, 40 per batch (1920 B); the log holds exactly two
+    # batches, so the wrap lands on a fully shipped batch boundary.
+    kv = ReplicatedKV(ctx, log_bytes=3840)
+    for batch in range(4):
+        for i in range(40):
+            kv.put(f"key-{batch}-{i:02d}".encode(), b"v" * 24)
+        settle(kv)
+    assert kv.stats.applied == 160
+    assert kv.replica.get_local(b"key-3-39") == b"v" * 24
+
+
+def test_log_wrap_with_unshipped_entries_raises(ctx):
+    kv = ReplicatedKV(ctx, log_bytes=2048, budget_gbps=0.001)
+    with pytest.raises(ReplicationLogFullError):
+        for i in range(200):
+            kv.put(f"key-{i}".encode(), b"v" * 32)

@@ -1,0 +1,72 @@
+"""Tests for the two-sided RPC service."""
+
+import pytest
+
+from repro.apps.rpc import RpcClient, RpcServer
+from repro.net.cluster import SimCluster
+from repro.net.topology import paper_testbed
+from repro.rdma import RdmaContext
+
+
+@pytest.fixture()
+def ctx():
+    return RdmaContext(SimCluster(paper_testbed()))
+
+
+def call(ctx, client, payload):
+    result = {}
+    proc = ctx.cluster.sim.process(client.call(payload))
+    proc.add_callback(lambda e: result.setdefault("value", e.value))
+    ctx.cluster.sim.run()
+    return result.get("value")
+
+
+def test_echo(ctx):
+    server = RpcServer(ctx, "host")
+    client = RpcClient(ctx, "client0", server)
+    assert call(ctx, client, b"hello") == b"hello"
+    assert client.stats.calls == 1
+    assert server.stats.served == 1
+
+
+def test_custom_handler(ctx):
+    server = RpcServer(ctx, "host", handler=lambda req: req.upper())
+    client = RpcClient(ctx, "client0", server)
+    assert call(ctx, client, b"abc") == b"ABC"
+
+
+def test_multiple_sequential_calls(ctx):
+    server = RpcServer(ctx, "host")
+    client = RpcClient(ctx, "client0", server)
+    for i in range(5):
+        assert call(ctx, client, f"msg{i}".encode()) == f"msg{i}".encode()
+    assert client.stats.calls == 5
+    assert len(client.stats.latency) == 5
+
+
+def test_soc_server_is_slower(ctx):
+    """S3.2: SEND/RECV served by the SoC has higher latency."""
+    host_server = RpcServer(ctx, "host")
+    soc_server = RpcServer(ctx, "soc")
+    host_client = RpcClient(ctx, "client0", host_server)
+    soc_client = RpcClient(ctx, "client1", soc_server)
+    call(ctx, host_client, b"x" * 64)
+    call(ctx, soc_client, b"x" * 64)
+    assert (soc_client.stats.latency.mean
+            > 1.1 * host_client.stats.latency.mean)
+
+
+def test_service_time_follows_cpu_model(ctx):
+    host_server = RpcServer(ctx, "host")
+    soc_server = RpcServer(ctx, "soc")
+    assert host_server.service_ns == ctx.cluster.node("host").cpu.two_sided_latency_ns
+    assert soc_server.service_ns > host_server.service_ns
+
+
+def test_two_clients_share_one_server(ctx):
+    server = RpcServer(ctx, "host")
+    a = RpcClient(ctx, "client0", server)
+    b = RpcClient(ctx, "client1", server)
+    assert call(ctx, a, b"from-a") == b"from-a"
+    assert call(ctx, b, b"from-b") == b"from-b"
+    assert server.stats.served == 2

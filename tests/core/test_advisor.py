@@ -1,0 +1,89 @@
+"""Tests for the offloading advisor."""
+
+import pytest
+
+from repro.core.advisor import Advisor, OffloadPlan, WorkloadProfile
+from repro.core.paths import CommPath
+from repro.net.topology import paper_testbed
+from repro.units import GB, KB, MB
+
+TB = paper_testbed()
+ADVISOR = Advisor(TB)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        WorkloadProfile(payload=-1)
+    with pytest.raises(ValueError):
+        WorkloadProfile(payload=64, read_fraction=1.5)
+    with pytest.raises(ValueError):
+        WorkloadProfile(payload=64, two_sided_fraction=-0.1)
+    with pytest.raises(ValueError):
+        WorkloadProfile(payload=64, working_set_bytes=0)
+
+
+def test_uniform_one_sided_workload_goes_to_soc():
+    plan = ADVISOR.plan(WorkloadProfile(payload=256, read_fraction=0.9,
+                                        working_set_bytes=8 * GB))
+    assert plan.one_sided_path is CommPath.SNIC2
+    assert "path-2" in plan.advice_refs()
+
+
+def test_skewed_workload_stays_on_host():
+    plan = ADVISOR.plan(WorkloadProfile(payload=64, read_fraction=0.0,
+                                        hot_range_bytes=1536,
+                                        working_set_bytes=8 * GB))
+    assert plan.one_sided_path is CommPath.SNIC1
+    assert "advice-1" in plan.advice_refs()
+
+
+def test_oversized_working_set_stays_on_host():
+    plan = ADVISOR.plan(WorkloadProfile(payload=256,
+                                        working_set_bytes=64 * GB))
+    assert plan.one_sided_path is CommPath.SNIC1
+    assert "capacity" in plan.advice_refs()
+
+
+def test_two_sided_traffic_terminates_on_host():
+    plan = ADVISOR.plan(WorkloadProfile(payload=256,
+                                        two_sided_fraction=0.5,
+                                        working_set_bytes=1 * GB))
+    assert plan.two_sided_path is CommPath.SNIC1
+    assert "wimpy-soc" in plan.advice_refs()
+
+
+def test_large_payloads_get_segmentation():
+    plan = ADVISOR.plan(WorkloadProfile(payload=32 * MB,
+                                        working_set_bytes=2 * GB))
+    assert plan.segment_bytes is not None
+    assert plan.segment_bytes <= 1 * MB
+    assert "advice-2-3" in plan.advice_refs()
+
+
+def test_small_payloads_need_no_segmentation():
+    plan = ADVISOR.plan(WorkloadProfile(payload=4 * KB,
+                                        working_set_bytes=1 * GB))
+    assert plan.segment_bytes is None
+
+
+def test_host_soc_transfer_gets_budget_and_doorbell_advice():
+    plan = ADVISOR.plan(WorkloadProfile(payload=4 * KB,
+                                        working_set_bytes=1 * GB,
+                                        host_soc_transfer=True))
+    assert plan.path3_budget_gbps == pytest.approx(56.0)
+    assert plan.doorbell_batching_soc_side
+    assert not plan.doorbell_batching_host_side
+    assert "rule-p-minus-n" in plan.advice_refs()
+    assert "advice-4" in plan.advice_refs()
+
+
+def test_no_transfer_no_budget():
+    plan = ADVISOR.plan(WorkloadProfile(payload=4 * KB,
+                                        working_set_bytes=1 * GB))
+    assert plan.path3_budget_gbps == 0.0
+
+
+def test_plan_is_structured():
+    plan = ADVISOR.plan(WorkloadProfile(payload=256))
+    assert isinstance(plan, OffloadPlan)
+    assert all(a.summary and a.rationale for a in plan.advice)

@@ -1,0 +1,158 @@
+"""Tests for the anomaly detectors."""
+
+import pytest
+
+from repro.core.anomalies import (
+    Anomaly,
+    detect_all,
+    detect_doorbell_regression,
+    detect_hol_collapse,
+    detect_pcie_underutilization,
+    detect_skew_vulnerability,
+)
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow
+from repro.net.topology import paper_testbed
+from repro.units import GB, KB, MB
+
+TB = paper_testbed()
+
+
+def test_anomaly_severity_validation():
+    with pytest.raises(ValueError):
+        Anomaly("skew", None, 1.5, "bad", "advice")
+
+
+# -- skew ------------------------------------------------------------------------
+
+
+def test_skew_detected_for_narrow_soc_writes():
+    flow = Flow(CommPath.SNIC2, Opcode.WRITE, 64, range_bytes=1536)
+    anomaly = detect_skew_vulnerability(TB, flow)
+    assert anomaly is not None
+    assert anomaly.kind == "skew"
+    assert anomaly.severity < 0.35  # 22.7 / 77+ M
+    assert "Advice #1" in anomaly.advice
+
+
+def test_skew_reads_degrade_less_than_writes():
+    read = detect_skew_vulnerability(
+        TB, Flow(CommPath.SNIC2, Opcode.READ, 64, range_bytes=1536))
+    write = detect_skew_vulnerability(
+        TB, Flow(CommPath.SNIC2, Opcode.WRITE, 64, range_bytes=1536))
+    assert read.severity > write.severity
+
+
+def test_no_skew_on_host_endpoint():
+    flow = Flow(CommPath.SNIC1, Opcode.WRITE, 64, range_bytes=1536)
+    assert detect_skew_vulnerability(TB, flow) is None
+
+
+def test_no_skew_on_wide_range_or_two_sided():
+    wide = Flow(CommPath.SNIC2, Opcode.WRITE, 64, range_bytes=10 * GB)
+    assert detect_skew_vulnerability(TB, wide) is None
+    send = Flow(CommPath.SNIC2, Opcode.SEND, 64, range_bytes=1536)
+    assert detect_skew_vulnerability(TB, send) is None
+
+
+# -- head-of-line ---------------------------------------------------------------------
+
+
+def test_hol_detected_for_large_soc_reads():
+    flow = Flow(CommPath.SNIC2, Opcode.READ, 16 * MB)
+    anomaly = detect_hol_collapse(TB, flow)
+    assert anomaly is not None
+    assert anomaly.kind == "hol"
+    assert "segment" in anomaly.advice
+
+
+def test_hol_not_detected_below_threshold():
+    assert detect_hol_collapse(TB, Flow(CommPath.SNIC2, Opcode.READ, 8 * MB)) is None
+
+
+def test_hol_not_detected_for_soc_writes_or_host_reads():
+    assert detect_hol_collapse(TB, Flow(CommPath.SNIC2, Opcode.WRITE, 16 * MB)) is None
+    assert detect_hol_collapse(TB, Flow(CommPath.SNIC1, Opcode.READ, 16 * MB)) is None
+
+
+def test_hol_path3_uses_earlier_s2h_threshold():
+    payload = 4 * MB
+    s2h = detect_hol_collapse(
+        TB, Flow(CommPath.SNIC3_S2H, Opcode.WRITE, payload, requesters=8))
+    h2s = detect_hol_collapse(
+        TB, Flow(CommPath.SNIC3_H2S, Opcode.WRITE, payload, requesters=24))
+    assert s2h is not None
+    assert h2s is None
+
+
+# -- PCIe under-utilization --------------------------------------------------------------
+
+
+def test_pcie_underutilization_detected_for_mixed_traffic():
+    flows = [
+        Flow(CommPath.SNIC1, Opcode.READ, 64, requesters=5),
+        Flow(CommPath.SNIC3_H2S, Opcode.READ, 64, requesters=24, weight=0.2),
+    ]
+    anomaly = detect_pcie_underutilization(TB, flows)
+    assert anomaly is not None
+    assert anomaly.kind == "pcie-underutilization"
+    assert 0.8 <= anomaly.severity <= 0.95
+
+
+def test_no_underutilization_without_path3():
+    flows = [Flow(CommPath.SNIC1, Opcode.READ, 64)]
+    assert detect_pcie_underutilization(TB, flows) is None
+
+
+# -- doorbell ---------------------------------------------------------------------------------
+
+
+def test_doorbell_regression_on_host_side():
+    flow = Flow(CommPath.SNIC3_H2S, Opcode.READ, 64, requesters=24,
+                doorbell_batch=16)
+    anomaly = detect_doorbell_regression(TB, flow)
+    assert anomaly is not None
+    assert anomaly.severity == pytest.approx(0.91, rel=0.02)
+
+
+def test_no_doorbell_regression_on_soc_side():
+    flow = Flow(CommPath.SNIC3_S2H, Opcode.READ, 64, requesters=8,
+                doorbell_batch=16)
+    assert detect_doorbell_regression(TB, flow) is None
+
+
+def test_no_doorbell_regression_without_batching():
+    flow = Flow(CommPath.SNIC3_H2S, Opcode.READ, 64, requesters=24)
+    assert detect_doorbell_regression(TB, flow) is None
+
+
+# -- detect_all ---------------------------------------------------------------------------------
+
+
+def test_detect_all_finds_per_flow_anomalies():
+    flows = [
+        Flow(CommPath.SNIC2, Opcode.WRITE, 64, range_bytes=1536),
+        Flow(CommPath.SNIC2, Opcode.READ, 16 * MB),
+        Flow(CommPath.SNIC3_H2S, Opcode.READ, 64, requesters=24,
+             doorbell_batch=16, weight=0.2),
+    ]
+    report = detect_all(TB, flows)
+    kinds = {a.kind for a in report}
+    assert {"skew", "hol", "doorbell"} <= kinds
+    assert not report.clean
+    assert len(report.of_kind("skew")) == 1
+
+
+def test_detect_all_includes_shared_interference():
+    flows = [
+        Flow(CommPath.SNIC1, Opcode.READ, 64, requesters=5),
+        Flow(CommPath.SNIC3_H2S, Opcode.READ, 64, requesters=24, weight=0.2),
+    ]
+    report = detect_all(TB, flows)
+    assert len(report.of_kind("pcie-underutilization")) == 1
+
+
+def test_detect_all_clean_workload():
+    flows = [Flow(CommPath.SNIC2, Opcode.READ, 4 * KB)]
+    report = detect_all(TB, flows)
+    assert report.clean

@@ -1,0 +1,104 @@
+"""Tests for the measurement harness and table formatting."""
+
+import pytest
+
+from repro.core.bench import LatencyBench, Measurement, Sweep, ThroughputBench
+from repro.core.paths import CommPath, Opcode
+from repro.core.report import format_table
+from repro.net.topology import paper_testbed
+from repro.units import KB, MB
+
+TB = paper_testbed()
+
+
+def test_measurement_str():
+    m = Measurement("lat", 2.5, "us")
+    assert "2.5" in str(m) and "us" in str(m)
+
+
+def test_sweep_accessors():
+    sweep = Sweep("payload", "bytes",
+                  [(64, Measurement("x", 1.0, "us")),
+                   (128, Measurement("x", 2.0, "us"))])
+    assert sweep.xs() == [64, 128]
+    assert sweep.values() == [1.0, 2.0]
+    assert sweep.value_at(128) == 2.0
+    with pytest.raises(KeyError):
+        sweep.value_at(999)
+    table = sweep.table(title="t")
+    assert "payload" in table and "64" in table
+
+
+def test_latency_bench_payload_sweep():
+    bench = LatencyBench(TB)
+    sweep = bench.payload_sweep(CommPath.SNIC1, Opcode.READ, [64, 4 * KB])
+    assert sweep.value_at(4 * KB) > sweep.value_at(64)
+
+
+def test_latency_bench_des_cross_check():
+    bench = LatencyBench(TB)
+    # Fig 3: simulated READ DMA crosses the fabric twice, WRITE once.
+    read_ns = bench.simulate_dma_latency(CommPath.SNIC1, Opcode.READ, 64)
+    write_ns = bench.simulate_dma_latency(CommPath.SNIC1, Opcode.WRITE, 64)
+    assert read_ns > 1.8 * write_ns
+
+
+def test_throughput_bench_payload_sweep_metrics():
+    bench = ThroughputBench(TB)
+    mrps = bench.payload_sweep(CommPath.SNIC1, Opcode.READ, [64], metric="mrps")
+    gbps = bench.payload_sweep(CommPath.SNIC1, Opcode.READ, [64], metric="gbps")
+    assert mrps.value_at(64) > 100
+    assert gbps.value_at(64) == pytest.approx(
+        mrps.value_at(64) * 64 * 8 / 1000, rel=1e-6)
+    with pytest.raises(ValueError):
+        bench.payload_sweep(CommPath.SNIC1, Opcode.READ, [64], metric="bogus")
+
+
+def test_throughput_bench_pps_scopes():
+    bench = ThroughputBench(TB)
+    nic = bench.pps_sweep(CommPath.SNIC3_S2H, Opcode.WRITE, [256 * KB],
+                          requesters=8, scope="nic")
+    fabric = bench.pps_sweep(CommPath.SNIC3_S2H, Opcode.WRITE, [256 * KB],
+                             requesters=8, scope="fabric")
+    assert fabric.value_at(256 * KB) > nic.value_at(256 * KB)
+    # Fig 9b: ~320 Mpps at the 204 Gbps peak.
+    assert fabric.value_at(256 * KB) == pytest.approx(310, rel=0.05)
+    with pytest.raises(ValueError):
+        bench.pps_sweep(CommPath.SNIC1, Opcode.READ, [64], scope="bogus")
+
+
+def test_throughput_bench_range_sweep_shape():
+    bench = ThroughputBench(TB)
+    sweep = bench.range_sweep(CommPath.SNIC2, Opcode.WRITE, 64,
+                              [1536, 48 * KB], requesters=2)
+    assert sweep.value_at(1536) == pytest.approx(22.7, rel=0.01)
+    assert sweep.value_at(48 * KB) > 3 * sweep.value_at(1536)
+
+
+def test_throughput_bench_requester_sweep_saturates():
+    bench = ThroughputBench(TB)
+    sweep = bench.requester_sweep(CommPath.SNIC1, Opcode.READ, 0,
+                                  list(range(1, 8)))
+    values = sweep.values()
+    assert values[-1] == pytest.approx(195.0, rel=0.01)
+    assert values[0] == pytest.approx(39.0, rel=0.01)
+
+
+def test_throughput_bench_doorbell_sweep():
+    bench = ThroughputBench(TB)
+    sweep = bench.doorbell_sweep(CommPath.SNIC3_S2H, Opcode.READ, 0,
+                                 [1, 16], requesters=8)
+    assert sweep.value_at(16) / sweep.value_at(1) == pytest.approx(2.7, rel=0.02)
+
+
+def test_format_table():
+    table = format_table(["a", "b"], [[1, 2.5], ["x", 0.001]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "---" in lines[2]
+    assert len(lines) == 5
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])

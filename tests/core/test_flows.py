@@ -1,0 +1,119 @@
+"""Tests for concurrent-flow analysis (Fig 5, §4)."""
+
+import pytest
+
+from repro.core.flows import ConcurrencyAnalyzer, FlowPattern
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow
+from repro.net.topology import paper_testbed
+from repro.units import KB
+
+TB = paper_testbed()
+AN = ConcurrencyAnalyzer(TB)
+
+
+def test_pattern_validation():
+    with pytest.raises(ValueError):
+        FlowPattern("empty", [])
+
+
+def test_fig5_snic1_opposite_directions_multiplex():
+    combos = AN.direction_combinations(CommPath.SNIC1)
+    read = combos["READ"].total_gbps
+    write = combos["WRITE"].total_gbps
+    both = combos["READ+WRITE"].total_gbps
+    # Fig 5(b): ~190 Gbps alone, ~364 Gbps for READ+WRITE.
+    assert read == pytest.approx(190, rel=0.02)
+    assert write == pytest.approx(190, rel=0.02)
+    assert both == pytest.approx(364, rel=0.03)
+    assert both > 1.85 * read
+
+
+def test_fig5_snic2_similar_to_snic1():
+    combos = AN.direction_combinations(CommPath.SNIC2)
+    assert combos["READ"].total_gbps == pytest.approx(190, rel=0.02)
+    assert combos["READ+WRITE"].total_gbps > 1.7 * combos["READ"].total_gbps
+
+
+def test_fig5_path3_cannot_double():
+    # S3.3: each request crosses PCIe1 twice, exhausting both directions.
+    combos = AN.direction_combinations(CommPath.SNIC3_S2H)
+    single = max(combos["READ"].total_gbps, combos["WRITE"].total_gbps)
+    both = combos["READ+WRITE"].total_gbps
+    assert both < 1.15 * single
+    # And the single-direction peak beats the network-bound paths.
+    assert single == pytest.approx(204, rel=0.03)
+
+
+def test_concurrent_endpoints_read_unlocks_reserved_cores():
+    results = AN.concurrent_endpoints(Opcode.READ, payload=0)
+    alone1 = results["SNIC1 alone"].total_mrps
+    alone2 = results["SNIC2 alone"].total_mrps
+    both = results["SNIC1+2"].total_mrps
+    # S4: 4-13 % above path 1 alone; far below the 352 Mpps sum.
+    assert 1.04 <= both / alone1 <= 1.13
+    assert alone1 + alone2 == pytest.approx(352, rel=0.01)
+    assert both < 0.65 * (alone1 + alone2)
+
+
+def test_concurrent_endpoints_write_is_flat():
+    results = AN.concurrent_endpoints(Opcode.WRITE, payload=0)
+    both = results["SNIC1+2"].total_mrps
+    alone = results["SNIC1 alone"].total_mrps
+    assert 1.0 <= both / alone <= 1.05
+
+
+def test_path3_interference_read_band():
+    results = AN.path3_interference(Opcode.READ, 64)
+    alone = results["SNIC1 alone"].rates[0]
+    mixed = results["SNIC1 + SNIC3(H2S)"].rates[0]
+    assert 0.85 <= mixed / alone <= 0.93  # S4: drops 7-15 %
+
+
+def test_path3_interference_write_band():
+    results = AN.path3_interference(Opcode.WRITE, 64)
+    alone = results["SNIC1 alone"].rates[0]
+    mixed = results["SNIC1 + SNIC3(H2S)"].rates[0]
+    assert 0.73 <= mixed / alone <= 0.96  # S4: drops 4-27 %
+
+
+def test_path3_interference_send_band():
+    results = AN.path3_interference(Opcode.SEND, 64)
+    alone = results["SNIC1 alone"].rates[0]
+    mixed = results["SNIC1 + SNIC3(H2S)"].rates[0]
+    assert 0.86 <= mixed / alone <= 0.91  # S4: drops 9-14 %
+
+
+def test_path3_budget_is_p_minus_n():
+    # S4: 256 Gbps PCIe - 200 Gbps network = 56 Gbps on this testbed.
+    assert AN.path3_budget_gbps() == pytest.approx(56.0)
+
+
+def test_budgeted_path3_raises_aggregate():
+    without = AN.aggregate_with_budgeted_path3(0).total_gbps
+    with_budget = AN.aggregate_with_budgeted_path3()
+    assert with_budget.total_gbps > without + 20
+    # The path-3 flow sticks to its admission budget.
+    assert with_budget.gbps_of(2) == pytest.approx(56.0, rel=0.01)
+
+
+def test_unbudgeted_path3_lowers_inter_machine_share():
+    budgeted = AN.aggregate_with_budgeted_path3(56.0)
+    unbudgeted = AN.aggregate_with_budgeted_path3(200.0)
+    inter_budgeted = budgeted.gbps_of(0) + budgeted.gbps_of(1)
+    inter_unbudgeted = unbudgeted.gbps_of(0) + unbudgeted.gbps_of(1)
+    assert inter_unbudgeted < inter_budgeted
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        AN.aggregate_with_budgeted_path3(-1)
+
+
+def test_combine_arbitrary_flows():
+    result = AN.combine([
+        Flow(CommPath.SNIC1, Opcode.READ, 4 * KB, requesters=5),
+        Flow(CommPath.SNIC2, Opcode.WRITE, 4 * KB, requesters=5),
+    ])
+    assert len(result.rates) == 2
+    assert result.total_gbps > 300  # opposite directions multiplex

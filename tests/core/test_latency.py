@@ -1,0 +1,113 @@
+"""Tests for the latency composition model against the Fig 4/10 bands."""
+
+import pytest
+
+from repro.core.latency import LatencyBreakdown, LatencyModel
+from repro.core.paths import CommPath, Opcode
+from repro.net.topology import paper_testbed
+from repro.units import KB
+
+TB = paper_testbed()
+MODEL = LatencyModel(TB)
+
+
+def lat(path, op, payload=64):
+    return MODEL.latency(path, op, payload).total
+
+
+def test_rnic_read_small_is_about_2us():
+    # S2.1: RDMA offers ~2 us latency.
+    assert 1.8 <= lat(CommPath.RNIC1, Opcode.READ) / 1000 <= 2.2
+
+
+def test_snic1_read_tax_is_15_to_30_percent():
+    ratio = lat(CommPath.SNIC1, Opcode.READ) / lat(CommPath.RNIC1, Opcode.READ)
+    assert 1.15 <= ratio <= 1.30
+
+
+def test_snic1_write_tax_is_15_to_21_percent():
+    ratio = lat(CommPath.SNIC1, Opcode.WRITE) / lat(CommPath.RNIC1, Opcode.WRITE)
+    assert 1.15 <= ratio <= 1.21
+
+
+def test_snic1_send_tax_is_6_to_9_percent():
+    ratio = lat(CommPath.SNIC1, Opcode.SEND) / lat(CommPath.RNIC1, Opcode.SEND)
+    assert 1.06 <= ratio <= 1.09
+
+
+def test_read_absolute_increase_larger_than_write():
+    # S3.1: 0.6 us for READ vs ~0.4 us for WRITE — READ crosses PCIe twice.
+    d_read = lat(CommPath.SNIC1, Opcode.READ) - lat(CommPath.RNIC1, Opcode.READ)
+    d_write = lat(CommPath.SNIC1, Opcode.WRITE) - lat(CommPath.RNIC1, Opcode.WRITE)
+    assert d_read == pytest.approx(600, abs=60)
+    assert 250 <= d_write <= 450
+    assert d_read > d_write
+
+
+def test_snic2_read_up_to_14_percent_below_snic1():
+    ratio = lat(CommPath.SNIC2, Opcode.READ) / lat(CommPath.SNIC1, Opcode.READ)
+    assert 0.86 <= ratio < 1.0
+
+
+def test_snic2_read_still_above_rnic():
+    # "...but is still 4-15 % higher than RNIC" (S3.2).
+    ratio = lat(CommPath.SNIC2, Opcode.READ) / lat(CommPath.RNIC1, Opcode.READ)
+    assert 1.04 <= ratio <= 1.20
+
+
+def test_snic2_write_similar_to_snic1():
+    ratio = lat(CommPath.SNIC2, Opcode.WRITE) / lat(CommPath.SNIC1, Opcode.WRITE)
+    assert 0.90 <= ratio <= 1.02
+
+
+def test_snic2_send_21_to_30_percent_above_snic1():
+    ratio = lat(CommPath.SNIC2, Opcode.SEND) / lat(CommPath.SNIC1, Opcode.SEND)
+    assert 1.21 <= ratio <= 1.30
+
+
+def test_s2h_read_latency_is_the_highest():
+    # S3.3: "the latency of sending requests from SoC to the host is
+    # very high, especially for READ".
+    s2h = lat(CommPath.SNIC3_S2H, Opcode.READ)
+    assert s2h > lat(CommPath.SNIC3_H2S, Opcode.READ)
+    assert s2h > lat(CommPath.SNIC1, Opcode.READ)
+
+
+def test_h2s_read_4_to_17_percent_above_snic2():
+    ratio = lat(CommPath.SNIC3_H2S, Opcode.READ) / lat(CommPath.SNIC2, Opcode.READ)
+    assert 1.04 <= ratio <= 1.17
+
+
+def test_latency_grows_with_payload():
+    small = lat(CommPath.SNIC1, Opcode.READ, 64)
+    large = lat(CommPath.SNIC1, Opcode.READ, 16 * KB)
+    assert large > small + 500  # serialization is visible
+
+
+def test_posting_latency_ordering_fig10a():
+    post = MODEL.posting_latency
+    assert (post(CommPath.SNIC3_S2H)
+            > post(CommPath.SNIC3_H2S)
+            > post(CommPath.RNIC1) * 0.9)
+    assert post(CommPath.SNIC1) == post(CommPath.RNIC1)  # same client CPUs
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        MODEL.latency(CommPath.SNIC1, Opcode.READ, -1)
+
+
+def test_breakdown_structure():
+    breakdown = MODEL.latency(CommPath.SNIC1, Opcode.READ, 64)
+    assert isinstance(breakdown, LatencyBreakdown)
+    assert breakdown.total == pytest.approx(sum(breakdown.as_dict().values()))
+    assert breakdown.segment("post") > 0
+    assert breakdown.total_us == pytest.approx(breakdown.total / 1000)
+    with pytest.raises(KeyError):
+        breakdown.segment("nonexistent")
+
+
+def test_path3_breakdown_has_fetch_and_deliver():
+    breakdown = MODEL.latency(CommPath.SNIC3_H2S, Opcode.WRITE, 4 * KB)
+    assert breakdown.segment("fetch_dma") > 0
+    assert breakdown.segment("deliver_dma") > 0

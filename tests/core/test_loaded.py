@@ -1,0 +1,84 @@
+"""Tests for the latency-under-load extension."""
+
+import pytest
+
+from repro.core.loaded import LoadedLatencyModel, curve_table
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow
+from repro.net.topology import paper_testbed
+
+MODEL = LoadedLatencyModel(paper_testbed())
+FLOW = Flow(CommPath.SNIC1, Opcode.READ, 64, requesters=11)
+
+
+def test_idle_latency_matches_the_base_model():
+    point = MODEL.latency_at(FLOW, 0.0)
+    base = MODEL.latency.latency(CommPath.SNIC1, Opcode.READ, 64).total
+    assert point.latency_ns == pytest.approx(base)
+    assert point.queueing_ns == 0.0
+    assert point.utilization == 0.0
+
+
+def test_latency_grows_with_load():
+    peak = MODEL.peak(FLOW).rates[0]
+    low = MODEL.latency_at(FLOW, 0.2 * peak)
+    high = MODEL.latency_at(FLOW, 0.9 * peak)
+    assert high.latency_ns > low.latency_ns
+    assert high.queueing_ns > low.queueing_ns
+    assert high.utilization == pytest.approx(0.9)
+
+
+def test_beyond_peak_rejected():
+    peak = MODEL.peak(FLOW).rates[0]
+    with pytest.raises(ValueError):
+        MODEL.latency_at(FLOW, peak)
+    with pytest.raises(ValueError):
+        MODEL.latency_at(FLOW, -1.0)
+
+
+def test_curve_is_monotone():
+    curve = MODEL.curve(FLOW, points=8)
+    latencies = [p.latency_ns for p in curve]
+    assert latencies == sorted(latencies)
+    assert curve[0].utilization == 0.0
+    assert curve[-1].utilization == pytest.approx(0.95)
+
+
+def test_curve_validation():
+    with pytest.raises(ValueError):
+        MODEL.curve(FLOW, points=1)
+    with pytest.raises(ValueError):
+        MODEL.curve(FLOW, max_utilization=1.0)
+
+
+def test_knee_meets_its_budget():
+    knee = MODEL.knee(FLOW, latency_budget_factor=2.0)
+    base = MODEL.latency_at(FLOW, 0.0).latency_ns
+    assert knee.latency_ns == pytest.approx(2.0 * base, rel=1e-6)
+    assert 0 < knee.utilization < 1
+    with pytest.raises(ValueError):
+        MODEL.knee(FLOW, latency_budget_factor=1.0)
+
+
+def test_knee_sits_very_close_to_peak_for_fast_paths():
+    """Service times are ns while unloaded latency is us, so the knee
+    lands deep into saturation — RDMA's famous flat-then-cliff curve."""
+    knee = MODEL.knee(FLOW)
+    assert knee.utilization > 0.99
+
+
+def test_paths_keep_their_ordering_under_load():
+    peak1 = MODEL.peak(Flow(CommPath.SNIC1, Opcode.READ, 64)).rates[0]
+    for fraction in (0.3, 0.8):
+        rate = fraction * peak1
+        snic1 = MODEL.latency_at(Flow(CommPath.SNIC1, Opcode.READ, 64), rate)
+        snic2 = MODEL.latency_at(Flow(CommPath.SNIC2, Opcode.READ, 64), rate)
+        assert snic2.latency_ns < snic1.latency_ns
+
+
+def test_curve_table_shape():
+    rows = curve_table(MODEL, FLOW, points=5)
+    assert len(rows) == 5
+    offered = [r[0] for r in rows]
+    assert offered == sorted(offered)
+    assert all(len(r) == 3 for r in rows)

@@ -1,0 +1,144 @@
+"""Tests for the Table-3 PCIe packet-count model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.packets import PacketCountModel, PathPacketCounts
+from repro.core.paths import CommPath, Opcode
+from repro.units import KB, MB, gbps
+
+MODEL = PacketCountModel()
+
+
+def test_zero_bytes_zero_tlps():
+    # S4: 0 B requests "return before reaching PCIe1".
+    for path in CommPath:
+        for op in Opcode:
+            assert MODEL.counts(path, op, 0).total == 0
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        MODEL.counts(CommPath.SNIC1, Opcode.READ, -1)
+
+
+def test_table3_row_snic1():
+    # Table 3: SNIC1 moves ceil(N/512) on both PCIe1 and PCIe0.
+    row = MODEL.table3_row(CommPath.SNIC1, 4 * KB)
+    assert row == {"pcie1": 8, "pcie0": 8}
+
+
+def test_table3_row_snic2():
+    # Table 3: SNIC2 moves ceil(N/128) on PCIe1 only.
+    row = MODEL.table3_row(CommPath.SNIC2, 4 * KB)
+    assert row == {"pcie1": 32, "pcie0": 0}
+
+
+def test_table3_row_snic3():
+    # Table 3: path 3 pays ceil(N/128) + ceil(N/512) on PCIe1.
+    row = MODEL.table3_row(CommPath.SNIC3_S2H, 4 * KB)
+    assert row == {"pcie1": 32 + 8, "pcie0": 8}
+
+
+def test_paper_example_293_mpps():
+    # S3.3 Advice #3: 200 Gbps SoC->host needs >= 293 Mpps of data TLPs.
+    pps = MODEL.pps_for_bandwidth(CommPath.SNIC3_S2H, Opcode.WRITE,
+                                  gbps(200), 4 * KB)
+    assert pps * 1e3 == pytest.approx(293, rel=0.01)
+
+
+def test_paper_example_ratios():
+    # ... which is "6x and 1.5x higher than SNIC1 and SNIC2" (S3.3).  The
+    # paper compares against path 1's per-link rate (49 Mpps into the
+    # host) and path 2's 195 Mpps.
+    path3 = MODEL.pps_for_bandwidth(CommPath.SNIC3_S2H, Opcode.WRITE,
+                                    gbps(200), 4 * KB)
+    rate = gbps(200) / (4 * KB)
+    path1_per_link = MODEL.counts(CommPath.SNIC1, Opcode.WRITE, 4 * KB,
+                                  include_requests=False).pcie0_to_host * rate
+    path2 = MODEL.pps_for_bandwidth(CommPath.SNIC2, Opcode.WRITE,
+                                    gbps(200), 4 * KB)
+    assert path3 / path1_per_link == pytest.approx(6.0, rel=0.02)
+    assert path3 / path2 == pytest.approx(1.5, rel=0.02)
+
+
+def test_read_includes_request_tlps():
+    with_reqs = MODEL.counts(CommPath.SNIC1, Opcode.READ, 64 * KB)
+    without = MODEL.counts(CommPath.SNIC1, Opcode.READ, 64 * KB,
+                           include_requests=False)
+    assert with_reqs.total == without.total + 2 * 16  # 16 chunks, 2 links
+
+
+def test_write_is_one_directional():
+    counts = MODEL.counts(CommPath.SNIC1, Opcode.WRITE, 4 * KB)
+    assert counts.pcie1_to_nic == 0
+    assert counts.pcie0_to_switch == 0
+    assert counts.pcie1_to_switch == 8
+    assert counts.pcie0_to_host == 8
+
+
+def test_snic2_write_only_touches_pcie1():
+    counts = MODEL.counts(CommPath.SNIC2, Opcode.WRITE, 4 * KB)
+    assert counts.pcie0_total == 0
+    assert counts.pcie1_to_switch == 32
+
+
+def test_path3_read_and_write_have_equal_data_cost():
+    # Fetch+deliver is symmetric in total TLPs.
+    read = MODEL.counts(CommPath.SNIC3_H2S, Opcode.READ, 1 * MB,
+                        include_requests=False)
+    write = MODEL.counts(CommPath.SNIC3_H2S, Opcode.WRITE, 1 * MB,
+                         include_requests=False)
+    assert read.total == write.total
+
+
+def test_path3_crosses_pcie1_in_both_directions():
+    counts = MODEL.counts(CommPath.SNIC3_S2H, Opcode.WRITE, 4 * KB)
+    assert counts.pcie1_to_nic > 0      # fetch completions into the NIC
+    assert counts.pcie1_to_switch > 0   # delivery back out
+
+
+def test_rnic_uses_pcie0_fields_only():
+    counts = MODEL.counts(CommPath.RNIC1, Opcode.READ, 4 * KB)
+    assert counts.pcie1_total == 0
+    assert counts.pcie0_to_switch == 8
+
+
+def test_wire_bytes_include_headers():
+    counts = MODEL.counts(CommPath.SNIC2, Opcode.WRITE, 4 * KB)
+    assert counts.pcie1_to_switch_bytes == 4 * KB + 32 * 24
+
+
+def test_counts_addition():
+    a = PathPacketCounts(pcie1_to_nic=1, pcie1_to_nic_bytes=100)
+    b = PathPacketCounts(pcie1_to_nic=2, pcie0_to_host=3,
+                         pcie1_to_nic_bytes=50)
+    total = a + b
+    assert total.pcie1_to_nic == 3
+    assert total.pcie0_to_host == 3
+    assert total.pcie1_to_nic_bytes == 150
+
+
+def test_pps_for_bandwidth_validation():
+    with pytest.raises(ValueError):
+        MODEL.pps_for_bandwidth(CommPath.SNIC1, Opcode.READ, -1, 4 * KB)
+    with pytest.raises(ValueError):
+        MODEL.pps_for_bandwidth(CommPath.SNIC1, Opcode.READ, 1.0, 0)
+
+
+@given(st.sampled_from(list(CommPath)), st.sampled_from(list(Opcode)),
+       st.integers(min_value=1, max_value=64 * MB))
+def test_path3_always_costs_most(path, op, nbytes):
+    reference = MODEL.counts(path, op, nbytes).total
+    path3 = MODEL.counts(CommPath.SNIC3_S2H, op, nbytes).total
+    if path.intra_machine:
+        return
+    assert path3 >= reference
+
+
+@given(st.sampled_from([CommPath.SNIC1, CommPath.SNIC2]),
+       st.integers(min_value=1, max_value=16 * MB))
+def test_read_never_cheaper_than_write_on_the_wire(path, nbytes):
+    read = MODEL.counts(path, Opcode.READ, nbytes).total
+    write = MODEL.counts(path, Opcode.WRITE, nbytes).total
+    assert read >= write

@@ -1,0 +1,54 @@
+"""Tests for the path/opcode abstraction."""
+
+import pytest
+
+from repro.core.paths import CommPath, Opcode, PathEnds
+from repro.nic.core import Endpoint
+
+
+def test_path_count_matches_paper():
+    # RNIC1 baseline plus the SmartNIC paths (path 3 split per direction).
+    assert len(CommPath) == 5
+
+
+def test_rnic_is_not_smart():
+    assert not CommPath.RNIC1.uses_smartnic
+    assert all(p.uses_smartnic for p in CommPath if p is not CommPath.RNIC1)
+
+
+def test_intra_machine_paths():
+    assert CommPath.SNIC3_H2S.intra_machine
+    assert CommPath.SNIC3_S2H.intra_machine
+    assert not CommPath.SNIC1.intra_machine
+    assert not CommPath.SNIC2.intra_machine
+
+
+def test_network_usage_is_complement_of_intra():
+    for path in CommPath:
+        assert path.uses_network != path.intra_machine
+
+
+def test_ends():
+    assert CommPath.SNIC1.ends == PathEnds("client", Endpoint.HOST)
+    assert CommPath.SNIC2.ends == PathEnds("client", Endpoint.SOC)
+    assert CommPath.SNIC3_H2S.ends == PathEnds("host", Endpoint.SOC)
+    assert CommPath.SNIC3_S2H.ends == PathEnds("soc", Endpoint.HOST)
+
+
+def test_ends_validation():
+    with pytest.raises(ValueError):
+        PathEnds("switch", Endpoint.HOST)
+
+
+def test_labels_follow_paper_numbering():
+    assert "①" in CommPath.SNIC1.label
+    assert "②" in CommPath.SNIC2.label
+    assert "③" in CommPath.SNIC3_H2S.label
+
+
+def test_opcode_properties():
+    assert Opcode.READ.one_sided and Opcode.WRITE.one_sided
+    assert not Opcode.SEND.one_sided
+    assert Opcode.READ.memory_op == "read"
+    assert Opcode.WRITE.memory_op == "write"
+    assert Opcode.SEND.memory_op == "write"  # payload lands in a recv buffer

@@ -1,0 +1,57 @@
+"""Tests for the ASCII plotter."""
+
+import pytest
+
+from repro.core.bench import Measurement, Sweep
+from repro.core.plot import ascii_plot, plot_sweeps
+
+
+def test_basic_plot_shape():
+    chart = ascii_plot({"line": [(0, 0), (10, 10)]}, width=20, height=8)
+    lines = chart.splitlines()
+    assert any("*" in line for line in lines)
+    assert "line" in lines[-1]
+    assert "10" in lines[0]
+
+
+def test_title_and_y_label():
+    chart = ascii_plot({"s": [(1, 1)]}, title="T", y_label="Gbps")
+    assert chart.splitlines()[0] == "T"
+    assert "Gbps" in chart
+
+
+def test_multiple_series_get_distinct_markers():
+    chart = ascii_plot({"a": [(0, 1)], "b": [(10, 2)]}, width=30, height=6)
+    assert "* a" in chart and "o b" in chart
+
+
+def test_log_x_axis():
+    chart = ascii_plot({"s": [(16, 1), (16384, 2)]}, log_x=True)
+    assert "(log)" in chart
+
+
+def test_log_x_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [(0, 1)]}, log_x=True)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+    with pytest.raises(ValueError):
+        ascii_plot({"s": []})
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [(0, 1)]}, width=2)
+
+
+def test_flat_series_does_not_crash():
+    chart = ascii_plot({"flat": [(1, 5), (2, 5), (3, 5)]})
+    assert "flat" in chart
+
+
+def test_plot_sweeps_adapter():
+    sweep = Sweep("payload", "bytes",
+                  [(64, Measurement("x", 1.0, "us")),
+                   (4096, Measurement("x", 3.0, "us"))])
+    chart = plot_sweeps({"latency": sweep}, log_x=True, title="L")
+    assert "latency" in chart and chart.startswith("L")

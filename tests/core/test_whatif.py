@@ -1,0 +1,112 @@
+"""Tests for the §5 what-if analyses (CCI, CXL, Bluefield-3)."""
+
+import pytest
+
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow, Scenario, ThroughputSolver
+from repro.core.whatif import (
+    CxlPath3Model,
+    bluefield3_testbed,
+    speed_ratios,
+    with_cci_soc,
+)
+from repro.net.topology import paper_testbed
+from repro.units import KB, MB, to_gbps
+
+TB = paper_testbed()
+SOLVER = ThroughputSolver()
+
+
+def peak(testbed, path, op, payload, requesters=11, **kw):
+    return SOLVER.solve(Scenario(testbed, [
+        Flow(path=path, op=op, payload=payload, requesters=requesters, **kw)]))
+
+
+# -- CCI: a DDIO-equivalent on the SoC ------------------------------------------
+
+
+def test_cci_removes_the_write_skew_anomaly():
+    cci = with_cci_soc(TB)
+    narrow_before = peak(TB, CommPath.SNIC2, Opcode.WRITE, 64,
+                         range_bytes=1536).mrps_of(0)
+    narrow_after = peak(cci, CommPath.SNIC2, Opcode.WRITE, 64,
+                        range_bytes=1536).mrps_of(0)
+    assert narrow_before == pytest.approx(22.7, rel=0.01)
+    assert narrow_after > 3 * narrow_before
+
+
+def test_cci_keeps_wide_range_behaviour():
+    cci = with_cci_soc(TB)
+    wide_before = peak(TB, CommPath.SNIC2, Opcode.WRITE, 64).mrps_of(0)
+    wide_after = peak(cci, CommPath.SNIC2, Opcode.WRITE, 64).mrps_of(0)
+    assert wide_after == pytest.approx(wide_before, rel=0.05)
+
+
+def test_cci_soc_memory_is_marked_ddio():
+    cci = with_cci_soc(TB)
+    assert cci.snic.soc.memory.ddio
+    assert not TB.snic.soc.memory.ddio  # original untouched
+
+
+# -- CXL for path 3 -----------------------------------------------------------------
+
+
+def test_cxl_beats_rdma_path3():
+    model = CxlPath3Model(TB.snic.spec)
+    # Today's RDMA path-3 ceiling is ~204 Gbps; CXL should exceed it.
+    assert to_gbps(model.rdma_path3_bandwidth(256 * KB)) == pytest.approx(
+        204, rel=0.02)
+    assert model.improvement(256 * KB) > 1.05
+    assert model.frees_nic_for_network()
+
+
+def test_cxl_efficiency_is_flit_based():
+    model = CxlPath3Model(TB.snic.spec)
+    assert 0.85 <= model.efficiency() <= 0.95
+
+
+def test_cxl_gain_grows_for_sub_mtu_transfers():
+    model = CxlPath3Model(TB.snic.spec)
+    # Payloads below the 128 B MTU pay a full TLP header each on RDMA
+    # path 3, so CXL's advantage grows.
+    assert model.improvement(100) > model.improvement(256 * KB)
+
+
+# -- Bluefield-3 ------------------------------------------------------------------------
+
+
+def test_bluefield3_ratios():
+    bf3 = bluefield3_testbed(TB)
+    ratios = speed_ratios(TB, bf3)
+    assert ratios["network"] == pytest.approx(2.0)
+    assert ratios["pcie"] == pytest.approx(2.0)
+    assert ratios["verb_rate"] == pytest.approx(2.0)
+
+
+def test_bluefield3_doubles_large_transfer_bandwidth():
+    bf3 = bluefield3_testbed(TB)
+    before = peak(TB, CommPath.SNIC1, Opcode.READ, 16 * KB).gbps_of(0)
+    after = peak(bf3, CommPath.SNIC1, Opcode.READ, 16 * KB).gbps_of(0)
+    assert after == pytest.approx(2 * before, rel=0.02)
+
+
+def test_bluefield3_keeps_the_architecture_anomalies():
+    """S5: same architecture, same anomalies — only the constants move."""
+    bf3 = bluefield3_testbed(TB)
+    # The HOL collapse and the path-3 double-crossing survive.
+    ok = peak(bf3, CommPath.SNIC2, Opcode.READ, 8 * MB).gbps_of(0)
+    collapsed = peak(bf3, CommPath.SNIC2, Opcode.READ, 16 * MB).gbps_of(0)
+    assert collapsed < 0.6 * ok
+    # Skew floor unchanged (the DRAM is the same generation).
+    narrow = peak(bf3, CommPath.SNIC2, Opcode.WRITE, 64,
+                  range_bytes=1536).mrps_of(0)
+    assert narrow == pytest.approx(22.7, rel=0.01)
+
+
+def test_bluefield3_budget_rule_moves_with_the_constants():
+    from repro.core.flows import ConcurrencyAnalyzer
+
+    bf3 = bluefield3_testbed(TB)
+    budget = ConcurrencyAnalyzer(bf3).path3_budget_gbps()
+    # P - N = 512 - 400 = 112 Gbps on the next generation.
+    assert budget == pytest.approx(112.0)

@@ -1,0 +1,75 @@
+"""Tests for the CPU models and their paper-facing aggregates."""
+
+import pytest
+
+from repro.hw import (
+    ARM_CORTEX_A72,
+    CLIENT_XEON_E5_2650,
+    CPUSpec,
+    HOST_XEON_GOLD_5317,
+)
+from repro.units import to_mrps, mrps
+
+
+def test_core_counts_match_table2():
+    assert HOST_XEON_GOLD_5317.total_cores == 24
+    assert CLIENT_XEON_E5_2650.total_cores == 24
+    assert ARM_CORTEX_A72.total_cores == 8
+
+
+def test_host_two_sided_matches_sec21():
+    # S2.1: a 24-core server reaches ~87 Mpps of two-sided traffic.
+    assert to_mrps(HOST_XEON_GOLD_5317.echo_capacity()) == pytest.approx(87.0, rel=0.01)
+
+
+def test_soc_echo_capacity_is_wimpy():
+    # 8 A72 cores serve ~31 M msgs/s — the "up to 64 % drop" of S3.2.
+    soc = to_mrps(ARM_CORTEX_A72.echo_capacity())
+    host = to_mrps(HOST_XEON_GOLD_5317.echo_capacity())
+    assert soc == pytest.approx(31.2, rel=0.01)
+    assert soc < 0.4 * host
+
+
+def test_client_issue_capacity_five_machines_saturate_nic():
+    # S4: five CLI machines saturate the 195 Mpps of NIC cores.
+    per_machine = to_mrps(CLIENT_XEON_E5_2650.issue_capacity())
+    assert 195.0 / per_machine <= 5.0
+
+
+def test_host_issue_capacity_matches_h2s():
+    # S3.3: H2S READ reaches 51.2 M reqs/s, requester-bound.
+    assert to_mrps(HOST_XEON_GOLD_5317.issue_capacity()) == pytest.approx(51.3, rel=0.01)
+
+
+def test_soc_issue_capacity_matches_s2h():
+    # S3.3: S2H READ reaches 29 M reqs/s, requester-bound.
+    assert to_mrps(ARM_CORTEX_A72.issue_capacity()) == pytest.approx(29.0, rel=0.01)
+
+
+def test_posting_latency_soc_is_highest():
+    # Fig 10a: the SoC takes longest to post a request.
+    assert (ARM_CORTEX_A72.posting_latency()
+            > HOST_XEON_GOLD_5317.posting_latency()
+            > CLIENT_XEON_E5_2650.posting_latency() * 0.9)
+
+
+def test_issue_capacity_thread_clamping():
+    cpu = HOST_XEON_GOLD_5317
+    assert cpu.issue_capacity(12) == pytest.approx(cpu.issue_capacity() / 2)
+    assert cpu.issue_capacity(999) == cpu.issue_capacity()
+    with pytest.raises(ValueError):
+        cpu.issue_capacity(0)
+
+
+def test_echo_capacity_threads():
+    cpu = ARM_CORTEX_A72
+    assert cpu.echo_capacity(4) == pytest.approx(cpu.echo_capacity() / 2)
+
+
+def test_cpuspec_validation():
+    with pytest.raises(ValueError):
+        CPUSpec("bad", 0, 8, 2.0, 1, 1, 1, mrps(1))
+    with pytest.raises(ValueError):
+        CPUSpec("bad", 1, 8, 2.0, 0, 1, 1, mrps(1))
+    with pytest.raises(ValueError):
+        CPUSpec("bad", 1, 8, 2.0, 1, 1, 1, 0)

@@ -1,0 +1,206 @@
+"""Tests for DRAM, LLC/DDIO and the combined memory subsystem."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.memory import (
+    AddressRegion,
+    DRAMConfig,
+    DRAMModel,
+    LLCConfig,
+    MemorySubsystem,
+    UniformAddresses,
+)
+from repro.units import KB, MB, GB, to_mrps
+
+SOC_DRAM = DRAMConfig(name="soc", channels=1)
+HOST_DRAM = DRAMConfig(name="host", channels=8, peak_bandwidth=23.4)
+
+
+def test_total_banks():
+    assert SOC_DRAM.total_banks == 16
+    assert HOST_DRAM.total_banks == 128
+
+
+def test_banks_engaged_scales_with_range():
+    model = DRAMModel(SOC_DRAM)
+    assert model.banks_engaged(1536) == 1          # 1.5 KB -> one bank stripe
+    assert model.banks_engaged(48 * KB) == 12
+    assert model.banks_engaged(10 * GB) == 16      # clamped at geometry
+
+
+def test_banks_engaged_validates_range():
+    with pytest.raises(ValueError):
+        DRAMModel(SOC_DRAM).banks_engaged(0)
+
+
+def test_single_bank_write_rate_matches_fig7_floor():
+    model = DRAMModel(SOC_DRAM)
+    rate = model.request_capacity("write", payload=64, range_bytes=1536)
+    assert to_mrps(rate) == pytest.approx(22.7, rel=0.01)
+
+
+def test_single_bank_read_rate_matches_fig7_floor():
+    model = DRAMModel(SOC_DRAM)
+    rate = model.request_capacity("read", payload=64, range_bytes=1536)
+    assert to_mrps(rate) == pytest.approx(50.0, rel=0.01)
+
+
+def test_wide_range_is_not_bank_limited():
+    model = DRAMModel(SOC_DRAM)
+    wide = model.request_capacity("write", payload=64, range_bytes=10 * GB)
+    narrow = model.request_capacity("write", payload=64, range_bytes=1536)
+    assert wide > 3 * narrow
+
+
+def test_bandwidth_ceiling_applies_for_large_payloads():
+    model = DRAMModel(SOC_DRAM)
+    rate = model.request_capacity("read", payload=1 * MB, range_bytes=10 * GB)
+    assert rate == pytest.approx(SOC_DRAM.read_bandwidth / MB)
+
+
+def test_write_bandwidth_below_read_bandwidth():
+    assert SOC_DRAM.write_bandwidth < SOC_DRAM.read_bandwidth
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        DRAMModel(SOC_DRAM).request_capacity("scan", 64, 1 * MB)
+    with pytest.raises(ValueError):
+        DRAMModel(SOC_DRAM).access_latency("scan")
+
+
+def test_dram_config_validation():
+    with pytest.raises(ValueError):
+        DRAMConfig(name="bad", channels=0)
+    with pytest.raises(ValueError):
+        DRAMConfig(name="bad", channels=1, write_bandwidth_factor=0)
+
+
+@given(st.integers(min_value=1, max_value=16 * GB))
+def test_banks_engaged_monotone(range_bytes):
+    model = DRAMModel(SOC_DRAM)
+    assert (model.banks_engaged(range_bytes)
+            <= model.banks_engaged(range_bytes * 2))
+
+
+@given(st.sampled_from(["read", "write"]),
+       st.sampled_from([64, 256, 4096]),
+       st.integers(min_value=10, max_value=34))
+def test_request_capacity_monotone_in_range(op, payload, log_range):
+    model = DRAMModel(SOC_DRAM)
+    small = model.request_capacity(op, payload, 2 ** log_range)
+    large = model.request_capacity(op, payload, 2 ** (log_range + 1))
+    assert large >= small
+
+
+# -- LLC / DDIO ---------------------------------------------------------------
+
+
+def test_ddio_capacity_is_fraction_of_llc():
+    llc = LLCConfig(size=18 * MB, ddio_way_fraction=0.15)
+    assert llc.ddio_capacity == pytest.approx(18 * MB * 0.15)
+
+
+def test_llc_request_capacity_payload_ceiling():
+    llc = LLCConfig()
+    assert llc.request_capacity("read", 0) == llc.dma_read_rate
+    big = llc.request_capacity("read", 1 * MB)
+    assert big == pytest.approx(llc.bandwidth / MB)
+
+
+def test_llc_validation():
+    with pytest.raises(ValueError):
+        LLCConfig(size=0)
+    with pytest.raises(ValueError):
+        LLCConfig(ddio_way_fraction=0)
+    with pytest.raises(ValueError):
+        LLCConfig().request_capacity("scan", 64)
+
+
+# -- subsystem ----------------------------------------------------------------
+
+HOST_MEM = MemorySubsystem(dram=HOST_DRAM, llc=LLCConfig(), ddio=True, name="host")
+SOC_MEM = MemorySubsystem(dram=SOC_DRAM, llc=None, ddio=False, name="soc")
+
+
+def test_ddio_requires_llc():
+    with pytest.raises(ValueError):
+        MemorySubsystem(dram=HOST_DRAM, llc=None, ddio=True)
+
+
+def test_host_with_ddio_immune_to_narrow_ranges():
+    # Advice #1: with DDIO the range barely matters.
+    narrow = HOST_MEM.dma_request_capacity("write", 64, 1536)
+    wide = HOST_MEM.dma_request_capacity("write", 64, 1 * MB)
+    assert narrow == wide
+
+
+def test_soc_without_ddio_collapses_on_narrow_ranges():
+    narrow = SOC_MEM.dma_request_capacity("write", 64, 1536)
+    wide = SOC_MEM.dma_request_capacity("write", 64, 48 * KB)
+    assert to_mrps(narrow) == pytest.approx(22.7, rel=0.01)
+    assert wide > 3 * narrow
+
+
+def test_soc_read_degrades_less_than_write():
+    # Fig 7: READ floor 50 M vs WRITE floor 22.7 M.
+    read_floor = SOC_MEM.dma_request_capacity("read", 64, 1536)
+    write_floor = SOC_MEM.dma_request_capacity("write", 64, 1536)
+    assert read_floor > 2 * write_floor
+
+
+def test_host_huge_range_falls_back_to_dram():
+    # 10 GB working set cannot live in the LLC, but 8 channels cope.
+    rate = HOST_MEM.dma_request_capacity("write", 64, 10 * GB)
+    assert to_mrps(rate) > 100
+
+
+def test_access_latency_paths():
+    assert HOST_MEM.dma_access_latency("write", 1536) == LLCConfig().hit_latency
+    assert SOC_MEM.dma_access_latency("read", 1536) == 50.0
+    with pytest.raises(ValueError):
+        SOC_MEM.dma_bandwidth("scan", 1536)
+
+
+# -- address sampling ---------------------------------------------------------
+
+
+def test_region_validation_and_contains():
+    region = AddressRegion(base=4096, size=1024)
+    assert region.end == 5120
+    assert region.contains(4096, 1024)
+    assert not region.contains(4096, 1025)
+    with pytest.raises(ValueError):
+        AddressRegion(base=-1, size=10)
+    with pytest.raises(ValueError):
+        AddressRegion(base=0, size=0)
+
+
+def test_sub_region():
+    region = AddressRegion(base=0, size=1 * MB)
+    sub = region.sub_region(48 * KB, offset=4096)
+    assert sub.base == 4096 and sub.size == 48 * KB
+    with pytest.raises(ValueError):
+        region.sub_region(2 * MB)
+
+
+def test_uniform_addresses_stay_in_region_and_aligned():
+    import random
+    region = AddressRegion(base=1 << 20, size=256 * KB)
+    sampler = UniformAddresses(region, payload=64, alignment=64,
+                               rng=random.Random(1))
+    for _ in range(1000):
+        addr = sampler.next()
+        assert region.contains(addr, 64)
+        assert addr % 64 == 0
+
+
+def test_uniform_addresses_validation():
+    region = AddressRegion(0, 128)
+    with pytest.raises(ValueError):
+        UniformAddresses(region, payload=256)
+    with pytest.raises(ValueError):
+        UniformAddresses(region, payload=-1)
+    with pytest.raises(ValueError):
+        UniformAddresses(region, payload=64, alignment=0)

@@ -1,0 +1,153 @@
+"""Tests for the cache simulator and DRAM bank timing."""
+
+import random
+
+import pytest
+
+from repro.hw.memory.cachesim import SetAssociativeCache
+from repro.hw.memory.dram import DRAMConfig
+from repro.hw.memory.dramsim import DramBankSim, DramTimingParams
+from repro.units import KB, MB, to_mrps
+
+# -- cache simulator -------------------------------------------------------------
+
+
+def test_cache_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size=0, ways=4)
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size=1000, ways=4)  # not a multiple
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size=4096, ways=4, ddio_ways=5)
+    cache = SetAssociativeCache(size=4096, ways=4)
+    with pytest.raises(ValueError):
+        cache.access(-1)
+
+
+def test_cache_hit_after_allocation():
+    cache = SetAssociativeCache(size=8 * KB, ways=4)
+    assert cache.access(0) is False   # cold miss
+    assert cache.access(0) is True    # hit
+    assert cache.access(32) is True   # same line
+    assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+
+def test_cache_lru_eviction():
+    # 4-way, single-set cache: line 64, size 256.
+    cache = SetAssociativeCache(size=256, ways=4)
+    lines = [i * 64 * cache.sets for i in range(4)]
+    for addr in lines:
+        cache.access(addr)
+    cache.access(lines[0])              # refresh line 0
+    cache.access(5 * 64 * cache.sets)   # evicts LRU = line 1
+    assert cache.access(lines[0]) is True
+    assert cache.access(lines[1]) is False  # was evicted
+
+
+def test_ddio_ways_restrict_dma_allocations():
+    # 8-way cache; DMA may only use 2 ways.
+    cache = SetAssociativeCache(size=8 * 64, ways=8, ddio_ways=2)
+    stride = 64 * cache.sets
+    # A DMA working set of 4 lines in one set cannot all stay resident.
+    for _ in range(3):
+        for i in range(4):
+            cache.access(i * stride, from_dma=True)
+    assert cache.stats.hit_rate < 0.5
+    # The same working set as CPU traffic fits (8 ways).
+    cpu_cache = SetAssociativeCache(size=8 * 64, ways=8, ddio_ways=2)
+    for _ in range(3):
+        for i in range(4):
+            cpu_cache.access(i * stride, from_dma=False)
+    assert cpu_cache.stats.hit_rate > 0.6
+
+
+def test_dma_lines_hit_for_cpu_and_vice_versa():
+    cache = SetAssociativeCache(size=8 * KB, ways=8, ddio_ways=2)
+    cache.access(0, from_dma=True)
+    assert cache.access(0, from_dma=False) is True
+
+
+def test_ddio_capacity():
+    cache = SetAssociativeCache(size=16 * KB, ways=8, ddio_ways=2)
+    assert cache.ddio_capacity == 16 * KB // 4
+
+
+def test_small_dma_working_set_stays_hot():
+    """Advice #1's host behaviour: a narrow DMA range lives in the DDIO
+    ways and hits ~100 % after warmup."""
+    cache = SetAssociativeCache(size=1 * MB, ways=16, ddio_ways=2)
+    rng = random.Random(0)
+    warm = 2000
+    for i in range(10_000):
+        addr = rng.randrange(0, 48 * KB, 64)
+        hit = cache.access(addr, from_dma=True)
+        if i == warm:
+            cache.stats.hits = cache.stats.misses = 0
+    assert cache.stats.hit_rate > 0.95
+
+
+# -- DRAM bank timing -----------------------------------------------------------------
+
+SOC_DRAM = DRAMConfig(name="soc", channels=2, peak_bandwidth=21.76,
+                      write_bandwidth_factor=0.92)
+
+
+def test_timing_validation():
+    with pytest.raises(ValueError):
+        DramTimingParams(read_cycle=0)
+    sim = DramBankSim(SOC_DRAM)
+    with pytest.raises(ValueError):
+        sim.bank_of(-1)
+    with pytest.raises(ValueError):
+        sim.access(0, True, now=-1)
+
+
+def test_bank_mapping_follows_stripe():
+    sim = DramBankSim(SOC_DRAM)
+    assert sim.bank_of(0) == 0
+    assert sim.bank_of(4095) == 0
+    assert sim.bank_of(4096) == 1
+    assert sim.bank_of(4096 * SOC_DRAM.total_banks) == 0
+
+
+def test_same_bank_serializes_at_the_row_cycle():
+    sim = DramBankSim(SOC_DRAM)
+    first = sim.access(0, is_write=True, now=0.0)
+    second = sim.access(64, is_write=True, now=0.0)
+    # Both in bank 0: the second waits a full write cycle.
+    assert second - first == pytest.approx(44.0)
+
+
+def test_different_banks_run_in_parallel():
+    sim = DramBankSim(SOC_DRAM)
+    a = sim.access(0, is_write=True, now=0.0)
+    b = sim.access(4096, is_write=True, now=0.0)
+    assert a == b  # no queueing across banks
+
+
+def test_fig7_write_floor_emerges_from_bank_timing():
+    """Random writes confined to 1.5 KB -> one bank -> ~22.7 M/s."""
+    sim = DramBankSim(SOC_DRAM)
+    rng = random.Random(1)
+    for _ in range(2000):
+        sim.access(rng.randrange(0, 1536, 64), is_write=True, now=0.0)
+    assert to_mrps(sim.measured_rate()) == pytest.approx(22.7, rel=0.01)
+
+
+def test_fig7_read_floor_emerges_from_bank_timing():
+    sim = DramBankSim(SOC_DRAM)
+    rng = random.Random(1)
+    for _ in range(2000):
+        sim.access(rng.randrange(0, 1536, 64), is_write=False, now=0.0)
+    assert to_mrps(sim.measured_rate()) == pytest.approx(50.0, rel=0.01)
+
+
+def test_wide_range_rate_scales_with_banks():
+    wide = DramBankSim(SOC_DRAM)
+    rng = random.Random(2)
+    for _ in range(4000):
+        wide.access(rng.randrange(0, 48 * KB, 64), is_write=True, now=0.0)
+    narrow_rate = 22.7
+    # 48 KB spans 12 of 32 bank stripes -> ~12x the single-bank rate.
+    assert to_mrps(wide.measured_rate()) == pytest.approx(
+        12 * narrow_rate, rel=0.10)

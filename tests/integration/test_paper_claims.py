@@ -1,0 +1,159 @@
+"""Every headline claim of the paper, checked against the models.
+
+One test per claim, labelled with the paper section.  These are the
+acceptance tests behind EXPERIMENTS.md; the per-figure benchmarks in
+``benchmarks/`` print the full series.
+"""
+
+import pytest
+
+from repro.core.bench import ThroughputBench
+from repro.core.flows import ConcurrencyAnalyzer
+from repro.core.latency import LatencyModel
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow, Scenario, ThroughputSolver
+from repro.net.topology import paper_testbed
+from repro.units import KB, MB, to_mrps
+
+TB = paper_testbed()
+SOLVER = ThroughputSolver()
+LAT = LatencyModel(TB)
+AN = ConcurrencyAnalyzer(TB)
+
+
+def peak(path, op, payload, requesters=11, **kw):
+    return SOLVER.solve(Scenario(TB, [Flow(path=path, op=op, payload=payload,
+                                           requesters=requesters, **kw)]))
+
+
+class TestSection21Motivation:
+    def test_host_two_sided_87_mpps_vs_nic_195_mpps(self):
+        host = to_mrps(TB.host_cpu.echo_capacity())
+        nic = to_mrps(TB.snic.spec.cores.verb_rate_host_only)
+        assert host == pytest.approx(87, rel=0.01)
+        assert nic >= 195
+
+
+class TestSection31ClientToHost:
+    def test_abstract_claim_up_to_48_percent_degradation(self):
+        """Abstract: communication anomalies cost up to 48 % bandwidth."""
+        healthy = peak(CommPath.SNIC2, Opcode.READ, 8 * MB).gbps_of(0)
+        collapsed = peak(CommPath.SNIC2, Opcode.READ, 16 * MB).gbps_of(0)
+        degradation = 1 - collapsed / healthy
+        assert degradation == pytest.approx(0.37, abs=0.12)
+
+    def test_latency_tax_read_15_to_30_percent(self):
+        for payload in (16, 64, 128):
+            ratio = (LAT.latency(CommPath.SNIC1, Opcode.READ, payload).total
+                     / LAT.latency(CommPath.RNIC1, Opcode.READ, payload).total)
+            assert 1.15 <= ratio <= 1.30
+
+    def test_throughput_tax_read_19_to_26_percent(self):
+        # 19-26 % for small payloads (the gap narrows toward 512 B where
+        # the network becomes the shared bottleneck).
+        for payload in (16, 64, 128):
+            ratio = (peak(CommPath.SNIC1, Opcode.READ, payload).mrps_of(0)
+                     / peak(CommPath.RNIC1, Opcode.READ, payload).mrps_of(0))
+            assert 0.74 <= ratio <= 0.82
+
+    def test_opposite_directions_reach_364_gbps(self):
+        combos = AN.direction_combinations(CommPath.SNIC1)
+        assert combos["READ+WRITE"].total_gbps == pytest.approx(364, rel=0.03)
+        assert combos["READ"].total_gbps == pytest.approx(190, rel=0.02)
+
+
+class TestSection32ClientToSoC:
+    def test_read_path2_up_to_148_percent_of_path1(self):
+        ratios = [peak(CommPath.SNIC2, Opcode.READ, p).mrps_of(0)
+                  / peak(CommPath.SNIC1, Opcode.READ, p).mrps_of(0)
+                  for p in (16, 64, 128)]
+        assert all(1.08 <= r <= 1.48 for r in ratios)
+
+    def test_send_to_soc_drops_up_to_64_percent(self):
+        snic1 = peak(CommPath.SNIC1, Opcode.SEND, 64).mrps_of(0)
+        snic2 = peak(CommPath.SNIC2, Opcode.SEND, 64).mrps_of(0)
+        assert 1 - snic2 / snic1 == pytest.approx(0.58, abs=0.07)
+
+    def test_advice1_skew_write_77_9_to_22_7(self):
+        bench = ThroughputBench(TB)
+        sweep = bench.range_sweep(CommPath.SNIC2, Opcode.WRITE, 64,
+                                  [1536, 48 * KB], requesters=2)
+        assert sweep.value_at(1536) == pytest.approx(22.7, rel=0.01)
+        assert sweep.value_at(48 * KB) == pytest.approx(78, rel=0.02)
+
+    def test_advice1_skew_read_85_to_50(self):
+        bench = ThroughputBench(TB)
+        sweep = bench.range_sweep(CommPath.SNIC2, Opcode.READ, 64,
+                                  [1536, 48 * KB], requesters=2)
+        assert sweep.value_at(1536) == pytest.approx(50.0, rel=0.01)
+        assert sweep.value_at(48 * KB) == pytest.approx(78, rel=0.02)
+
+    def test_advice2_read_collapse_above_9mb(self):
+        bench = ThroughputBench(TB)
+        pps = bench.pps_sweep(CommPath.SNIC2, Opcode.READ,
+                              [8 * MB, 16 * MB], scope="nic")
+        assert pps.value_at(8 * MB) == pytest.approx(190, rel=0.05)
+        assert pps.value_at(16 * MB) <= 120
+
+
+class TestSection33HostSoC:
+    def test_h2s_and_s2h_small_request_rates(self):
+        h2s = peak(CommPath.SNIC3_H2S, Opcode.READ, 64, requesters=24)
+        s2h = peak(CommPath.SNIC3_S2H, Opcode.READ, 64, requesters=8)
+        assert h2s.mrps_of(0) == pytest.approx(51.2, rel=0.01)
+        assert s2h.mrps_of(0) == pytest.approx(29.0, rel=0.01)
+
+    def test_peak_204_gbps_higher_than_network_paths(self):
+        path3 = peak(CommPath.SNIC3_S2H, Opcode.WRITE, 256 * KB,
+                     requesters=8).gbps_of(0)
+        path1 = peak(CommPath.SNIC1, Opcode.WRITE, 256 * KB).gbps_of(0)
+        assert path3 == pytest.approx(204, rel=0.01)
+        assert path1 == pytest.approx(191, rel=0.02)
+
+    def test_advice3_collapse_to_100_gbps(self):
+        s2h = peak(CommPath.SNIC3_S2H, Opcode.WRITE, 16 * MB, requesters=8)
+        assert s2h.gbps_of(0) == pytest.approx(100, rel=0.15)
+
+    def test_fig9b_320_mpps_at_peak(self):
+        bench = ThroughputBench(TB)
+        pps = bench.pps_sweep(CommPath.SNIC3_S2H, Opcode.WRITE, [256 * KB],
+                              requesters=8, scope="fabric")
+        assert pps.value_at(256 * KB) == pytest.approx(310, rel=0.05)
+
+    def test_advice4_doorbell_asymmetry(self):
+        soc = TB.snic.soc.doorbell
+        host = TB.snic.spec.host_doorbell
+        assert 2.6 <= soc.speedup(16) <= 2.8
+        assert 4.5 <= soc.speedup(80) <= 4.7
+        assert host.speedup(16) < 1 and host.speedup(48) < 1
+        assert host.speedup(16) < host.speedup(32) < host.speedup(48)
+
+
+class TestSection4Concurrency:
+    def test_concurrent_endpoints_read_4_to_13_percent(self):
+        results = AN.concurrent_endpoints(Opcode.READ, payload=0)
+        gain = (results["SNIC1+2"].total_mrps
+                / results["SNIC1 alone"].total_mrps)
+        assert 1.04 <= gain <= 1.13
+
+    def test_sum_of_peaks_352_vs_concurrent(self):
+        results = AN.concurrent_endpoints(Opcode.READ, payload=0)
+        separate = (results["SNIC1 alone"].total_mrps
+                    + results["SNIC2 alone"].total_mrps)
+        assert separate == pytest.approx(352, rel=0.01)
+        assert results["SNIC1+2"].total_mrps == pytest.approx(210, rel=0.01)
+
+    def test_path3_interference_bands(self):
+        bands = {Opcode.READ: (0.85, 0.93), Opcode.WRITE: (0.73, 0.96),
+                 Opcode.SEND: (0.86, 0.91)}
+        for op, (low, high) in bands.items():
+            results = AN.path3_interference(op, 64)
+            ratio = (results["SNIC1 + SNIC3(H2S)"].rates[0]
+                     / results["SNIC1 alone"].rates[0])
+            assert low <= ratio <= high, op
+
+    def test_budget_rule_56_gbps(self):
+        assert AN.path3_budget_gbps() == pytest.approx(56.0)
+        budgeted = AN.aggregate_with_budgeted_path3()
+        plain = AN.aggregate_with_budgeted_path3(0)
+        assert budgeted.total_gbps > plain.total_gbps

@@ -1,0 +1,146 @@
+"""Property-based tests on the core models.
+
+Random request shapes and flow combinations must respect structural
+invariants: conservation (utilization never exceeds capacity), fairness
+(adding traffic never speeds anyone up), monotonicity (more payload
+never costs fewer packets or less time), and the SmartNIC tax (the
+baseline is never slower).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.latency import LatencyModel
+from repro.core.packets import PacketCountModel
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Flow, Scenario, ThroughputSolver
+from repro.net.topology import paper_testbed
+from repro.units import GB, MB
+
+TB = paper_testbed()
+SOLVER = ThroughputSolver()
+LATENCY = LatencyModel(TB)
+PACKETS = PacketCountModel()
+
+_paths = st.sampled_from(list(CommPath))
+_client_paths = st.sampled_from([CommPath.RNIC1, CommPath.SNIC1,
+                                 CommPath.SNIC2])
+_ops = st.sampled_from(list(Opcode))
+_one_sided = st.sampled_from([Opcode.READ, Opcode.WRITE])
+_payloads = st.integers(min_value=0, max_value=32 * MB)
+_small_payloads = st.integers(min_value=0, max_value=8192)
+
+
+def _flow(path, op, payload, **kw):
+    requesters = kw.pop("requesters", 8 if path.intra_machine else 6)
+    return Flow(path=path, op=op, payload=payload, requesters=requesters,
+                **kw)
+
+
+# -- solver invariants ---------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(_paths, _ops, _payloads)
+def test_single_flow_rate_is_positive_and_bounded(path, op, payload):
+    result = SOLVER.solve(Scenario(TB, [_flow(path, op, payload)]))
+    assert 0 < result.rates[0] < 1.0  # under 1 G reqs/s, always
+    assert all(u <= 1 + 1e-9 for u in result.utilization.values())
+    assert result.bottlenecks[0]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_client_paths, _one_sided, _small_payloads, _client_paths,
+       _one_sided, _small_payloads)
+def test_adding_a_flow_never_speeds_up_the_first(path_a, op_a, pay_a,
+                                                 path_b, op_b, pay_b):
+    alone = SOLVER.solve(Scenario(TB, [_flow(path_a, op_a, pay_a)]))
+    together = SOLVER.solve(Scenario(TB, [
+        _flow(path_a, op_a, pay_a), _flow(path_b, op_b, pay_b)]))
+    assert together.rates[0] <= alone.rates[0] * (1 + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_client_paths, _one_sided, _small_payloads)
+def test_two_identical_flows_split_evenly(path, op, payload):
+    result = SOLVER.solve(Scenario(TB, [
+        _flow(path, op, payload), _flow(path, op, payload)]))
+    assert result.rates[0] == pytest.approx(result.rates[1], rel=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_paths, _one_sided, _small_payloads,
+       st.floats(min_value=1e-5, max_value=1e-3))
+def test_rate_cap_is_never_exceeded(path, op, payload, cap):
+    result = SOLVER.solve(Scenario(TB, [
+        _flow(path, op, payload, rate_cap=cap)]))
+    assert result.rates[0] <= cap * (1 + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_client_paths, _one_sided,
+       st.integers(min_value=64, max_value=64 * 1024))
+def test_goodput_monotone_in_requesters(path, op, payload):
+    few = SOLVER.solve(Scenario(TB, [
+        _flow(path, op, payload, requesters=2)]))
+    many = SOLVER.solve(Scenario(TB, [
+        _flow(path, op, payload, requesters=10)]))
+    assert many.rates[0] >= few.rates[0] * (1 - 1e-9)
+
+
+# -- latency invariants ---------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(_paths, _ops, st.integers(min_value=0, max_value=1 * MB))
+def test_latency_positive_and_segments_sum(path, op, payload):
+    breakdown = LATENCY.latency(path, op, payload)
+    assert breakdown.total > 0
+    assert breakdown.total == pytest.approx(
+        sum(v for _n, v in breakdown.segments))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_paths, _ops, st.integers(min_value=0, max_value=512 * 1024))
+def test_latency_monotone_in_payload(path, op, payload):
+    smaller = LATENCY.latency(path, op, payload).total
+    larger = LATENCY.latency(path, op, payload * 2 + 64).total
+    assert larger >= smaller - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ops, st.integers(min_value=0, max_value=64 * 1024))
+def test_smartnic_is_never_faster_than_the_baseline(op, payload):
+    rnic = LATENCY.latency(CommPath.RNIC1, op, payload).total
+    snic = LATENCY.latency(CommPath.SNIC1, op, payload).total
+    assert snic >= rnic
+
+
+# -- packet-model invariants --------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(_paths, _ops, st.integers(min_value=0, max_value=32 * MB))
+def test_tlp_counts_monotone_in_payload(path, op, payload):
+    smaller = PACKETS.counts(path, op, payload).total
+    larger = PACKETS.counts(path, op, payload + 4096).total
+    assert larger >= smaller
+
+
+@settings(max_examples=60, deadline=None)
+@given(_paths, _ops, st.integers(min_value=1, max_value=32 * MB))
+def test_wire_bytes_exceed_payload(path, op, payload):
+    counts = PACKETS.counts(path, op, payload)
+    wire = (counts.pcie1_to_nic_bytes + counts.pcie1_to_switch_bytes
+            + counts.pcie0_to_host_bytes + counts.pcie0_to_switch_bytes)
+    assert wire >= payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops, st.integers(min_value=1, max_value=32 * MB))
+def test_path2_touches_fewer_links_than_path1(op, payload):
+    path1 = PACKETS.counts(CommPath.SNIC1, op, payload)
+    path2 = PACKETS.counts(CommPath.SNIC2, op, payload)
+    assert path2.pcie0_total == 0
+    assert path1.pcie0_total > 0

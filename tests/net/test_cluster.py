@@ -1,0 +1,69 @@
+"""Tests for the simulated cluster wiring."""
+
+import pytest
+
+from repro.net.cluster import Node, SimCluster
+from repro.net.topology import paper_testbed
+from repro.nic.core import Endpoint
+
+
+def make_cluster(n_clients=2):
+    return SimCluster(paper_testbed(), n_clients=n_clients)
+
+
+def test_cluster_builds_nodes():
+    cluster = make_cluster(3)
+    assert set(cluster.nodes) == {"host", "soc", "client0", "client1",
+                                  "client2"}
+    assert len(cluster.clients()) == 3
+
+
+def test_node_kinds_and_endpoints():
+    cluster = make_cluster()
+    assert cluster.node("host").endpoint is Endpoint.HOST
+    assert cluster.node("soc").endpoint is Endpoint.SOC
+    assert cluster.node("client0").endpoint is None
+    assert cluster.node("host").on_server
+    assert not cluster.node("client0").on_server
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(KeyError):
+        make_cluster().node("client99")
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        SimCluster(paper_testbed(), n_clients=0)
+    with pytest.raises(ValueError):
+        SimCluster(paper_testbed(n_clients=2), n_clients=5)
+
+
+def test_node_validation():
+    from repro.hw.cpu import HOST_XEON_GOLD_5317
+    with pytest.raises(ValueError):
+        Node("x", "router", HOST_XEON_GOLD_5317, 1024)
+    with pytest.raises(ValueError):
+        Node("x", "host", HOST_XEON_GOLD_5317, 0)
+
+
+def test_channels_per_client_plus_server():
+    cluster = make_cluster(2)
+    c0 = cluster.channel(cluster.node("client0"))
+    c1 = cluster.channel(cluster.node("client1"))
+    server = cluster.channel(cluster.node("host"))
+    assert c0 is not c1
+    assert server is cluster.server_channel
+    assert cluster.channel(cluster.node("soc")) is server
+
+
+def test_smartnic_fabric_is_instantiated():
+    cluster = make_cluster()
+    assert cluster.snic.pcie1 is not None
+    assert cluster.snic.switch is not None
+    assert cluster.snic.sim is cluster.sim
+
+
+def test_soc_node_memory_matches_spec():
+    cluster = make_cluster()
+    assert cluster.node("soc").memory_bytes == cluster.snic.soc.dram_bytes

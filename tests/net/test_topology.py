@@ -1,0 +1,69 @@
+"""Tests for fabric spec, testbed topology and issue-capacity helpers."""
+
+import pytest
+
+from repro.net.fabric import DEFAULT_FABRIC, FabricSpec
+from repro.net.topology import Testbed, paper_testbed
+from repro.units import to_gbps, to_mrps
+
+
+def test_fabric_validation():
+    with pytest.raises(ValueError):
+        FabricSpec(ports=1)
+    with pytest.raises(ValueError):
+        FabricSpec(port_gbps=0)
+
+
+def test_fabric_port_bandwidth():
+    assert to_gbps(DEFAULT_FABRIC.port_bandwidth) == pytest.approx(100.0)
+    assert DEFAULT_FABRIC.one_way_latency() > 0
+
+
+def test_paper_testbed_shape():
+    tb = paper_testbed()
+    assert tb.n_clients == 20
+    assert tb.snic.spec.name == "bluefield-2"
+    assert tb.rnic.spec.name == "connectx-6"
+    assert tb.host_cpu.total_cores == 24
+
+
+def test_testbed_validation():
+    with pytest.raises(ValueError):
+        paper_testbed(n_clients=0)
+
+
+def test_client_issue_capacity_scales_and_clamps():
+    tb = paper_testbed(n_clients=5)
+    one = tb.client_issue_capacity(1)
+    assert to_mrps(one) == pytest.approx(39.0, rel=0.01)
+    assert tb.client_issue_capacity(5) == pytest.approx(5 * one)
+    # More machines than exist are clamped.
+    assert tb.client_issue_capacity(50) == pytest.approx(5 * one)
+    with pytest.raises(ValueError):
+        tb.client_issue_capacity(0)
+
+
+def test_issue_capacity_with_doorbell_batching():
+    tb = paper_testbed()
+    base = tb.soc_issue_capacity()
+    batched = tb.soc_issue_capacity(doorbell_batch=16)
+    assert batched / base == pytest.approx(2.7, rel=0.02)
+    host_base = tb.host_issue_capacity()
+    host_batched = tb.host_issue_capacity(doorbell_batch=16)
+    assert host_batched < host_base
+
+
+def test_host_and_soc_issue_thread_clamping():
+    tb = paper_testbed()
+    assert tb.host_issue_capacity(12) == pytest.approx(
+        tb.host_issue_capacity() / 2)
+    assert tb.soc_issue_capacity(4) == pytest.approx(
+        tb.soc_issue_capacity() / 2)
+    assert tb.soc_issue_capacity(100) == tb.soc_issue_capacity()
+
+
+def test_client_network_capacity():
+    tb = paper_testbed()
+    one = tb.client_network_capacity(1)
+    assert to_gbps(one) == pytest.approx(100.0)
+    assert tb.client_network_capacity(4) == pytest.approx(4 * one)

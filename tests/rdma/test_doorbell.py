@@ -1,0 +1,114 @@
+"""Tests for doorbell batching at the posting layer."""
+
+import pytest
+
+from repro.net.cluster import SimCluster
+from repro.net.topology import paper_testbed
+from repro.rdma import DoorbellBatcher, RdmaContext
+
+
+@pytest.fixture()
+def ctx():
+    return RdmaContext(SimCluster(paper_testbed()))
+
+
+def test_default_costs_follow_node_side(ctx):
+    soc_qp, _ = ctx.connect_rc("soc", "host")
+    host_qp, _ = ctx.connect_rc("host", "soc")
+    client_qp, _ = ctx.connect_rc("client0", "host")
+    assert DoorbellBatcher(soc_qp).costs is ctx.cluster.snic.soc.doorbell
+    assert (DoorbellBatcher(host_qp).costs
+            is ctx.cluster.snic.spec.host_doorbell)
+    assert (DoorbellBatcher(client_qp).costs
+            is ctx.cluster.testbed.client_doorbell)
+
+
+def test_flush_posts_everything(ctx):
+    soc_mr = ctx.reg_mr("soc", 1 << 16)
+    host_mr = ctx.reg_mr("host", 1 << 16)
+    host_mr.write_local(0, bytes(range(16)) * 64)
+    qp, _ = ctx.connect_rc("soc", "host")
+    batcher = DoorbellBatcher(qp)
+    for i in range(8):
+        batcher.queue_read(i, soc_mr, host_mr, 64,
+                           local_offset=i * 64, remote_offset=i * 64)
+    assert len(batcher) == 8
+    processes = batcher.flush()
+    assert len(processes) == 8
+    assert len(batcher) == 0
+    ctx.cluster.sim.run()
+    assert soc_mr.read_local(0, 64) == host_mr.read_local(0, 64)
+    assert batcher.flushes == 1
+    assert batcher.posted == 8
+
+
+def test_empty_flush_is_noop(ctx):
+    qp, _ = ctx.connect_rc("soc", "host")
+    batcher = DoorbellBatcher(qp)
+    assert batcher.flush() == []
+    assert batcher.flushes == 0
+
+
+def test_batch_overflow_rejected(ctx):
+    soc_mr = ctx.reg_mr("soc", 1 << 16)
+    host_mr = ctx.reg_mr("host", 1 << 16)
+    qp, _ = ctx.connect_rc("soc", "host")
+    batcher = DoorbellBatcher(qp, max_batch=2)
+    batcher.queue_write(1, soc_mr, host_mr, 64)
+    batcher.queue_write(2, soc_mr, host_mr, 64)
+    with pytest.raises(OverflowError):
+        batcher.queue_write(3, soc_mr, host_mr, 64)
+
+
+def test_max_batch_validation(ctx):
+    qp, _ = ctx.connect_rc("soc", "host")
+    with pytest.raises(ValueError):
+        DoorbellBatcher(qp, max_batch=0)
+
+
+def test_amortized_cost_decreases_with_batch(ctx):
+    qp, _ = ctx.connect_rc("soc", "host")
+    batcher = DoorbellBatcher(qp)
+    assert batcher.amortized_cost(16) < batcher.amortized_cost(2)
+    with pytest.raises(ValueError):
+        batcher.amortized_cost(0)
+
+
+def test_soc_batched_posting_is_faster_than_sequential(ctx):
+    """The SoC-side DB win shows up in simulated completion times."""
+    sim = ctx.cluster.sim
+    soc_mr = ctx.reg_mr("soc", 1 << 16)
+    host_mr = ctx.reg_mr("host", 1 << 16)
+
+    qp, _ = ctx.connect_rc("soc", "host")
+    batcher = DoorbellBatcher(qp)
+    for i in range(16):
+        batcher.queue_read(i, soc_mr, host_mr, 64)
+    start = sim.now
+    batcher.flush()
+    sim.run()
+    batched_elapsed = sim.now - start
+
+    # One thread posting back-to-back pays the full per-request cost
+    # each time (the flush() convention, without amortization).
+    qp2, _ = ctx.connect_rc("soc", "host")
+    per_request = batcher.costs.per_request
+    start = sim.now
+    for i in range(16):
+        qp2.post_read(i, soc_mr, host_mr, 64,
+                      posting_delay=per_request * (i + 1))
+    sim.run()
+    sequential_elapsed = sim.now - start
+
+    assert batched_elapsed < sequential_elapsed
+
+
+def test_queue_send_via_batcher(ctx):
+    qp, peer = ctx.connect_rc("client0", "host")
+    buf = ctx.reg_mr("host", 1024)
+    peer.post_recv(1, buf)
+    batcher = DoorbellBatcher(qp)
+    batcher.queue_send(1, b"batched")
+    batcher.flush()
+    ctx.cluster.sim.run()
+    assert buf.read_local(0, 7) == b"batched"

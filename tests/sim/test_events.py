@@ -1,0 +1,117 @@
+"""Unit tests for Event, Timeout, AllOf, AnyOf."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError, AllOf, AnyOf
+
+
+def test_event_lifecycle():
+    sim = Simulator()
+    ev = sim.event()
+    assert not ev.triggered and not ev.processed
+    ev.succeed("payload")
+    assert ev.triggered and not ev.processed
+    sim.run()
+    assert ev.processed
+    assert ev.value == "payload"
+
+
+def test_double_succeed_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_succeed_after_fail_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("boom"))
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value
+
+
+def test_callback_after_fire_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(5)
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == [5]
+
+
+def test_delayed_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+    ev.add_callback(lambda e: seen.append(sim.now))
+    ev.succeed(delay=25)
+    sim.run()
+    assert seen == [25.0]
+
+
+def test_allof_gathers_values_in_declaration_order():
+    sim = Simulator()
+    a = sim.timeout(30, value="a")
+    b = sim.timeout(10, value="b")
+    both = AllOf(sim, [a, b])
+    sim.run()
+    assert both.value == ["a", "b"]
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+    all_none = AllOf(sim, [])
+    sim.run()
+    assert all_none.value == []
+
+
+def test_allof_propagates_failure():
+    sim = Simulator()
+    ok = sim.timeout(5)
+    bad = sim.event()
+    bad.fail(ValueError("child died"))
+    both = AllOf(sim, [ok, bad])
+    sim.run()
+    assert not both.ok
+    assert isinstance(both._value, ValueError)
+
+
+def test_anyof_takes_first_value():
+    sim = Simulator()
+    slow = sim.timeout(100, value="slow")
+    fast = sim.timeout(1, value="fast")
+    first = AnyOf(sim, [slow, fast])
+    sim.run()
+    assert first.value == "fast"
+
+
+def test_anyof_ignores_later_events():
+    sim = Simulator()
+    a = sim.timeout(1, value="a")
+    b = sim.timeout(2, value="b")
+    first = AnyOf(sim, [a, b])
+    sim.run()
+    assert first.value == "a"
+    assert b.processed  # still fires on its own
+
+
+def test_condition_rejects_foreign_events():
+    sim1, sim2 = Simulator(), Simulator()
+    foreign = sim2.timeout(1)
+    with pytest.raises(SimulationError):
+        AllOf(sim1, [foreign])

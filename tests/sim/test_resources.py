@@ -1,0 +1,134 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError, Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    first, second, third = res.request(), res.request(), res.request()
+    sim.run()
+    assert first.processed and second.processed
+    assert not third.triggered
+    assert res.in_use == 2
+    assert res.queue_length == 1
+
+
+def test_resource_fifo_handoff():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim, name, hold):
+        req = res.request()
+        yield req
+        order.append((name, sim.now))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.process(holder(sim, "a", 10))
+    sim.process(holder(sim, "b", 10))
+    sim.process(holder(sim, "c", 10))
+    sim.run()
+    assert order == [("a", 0.0), ("b", 10.0), ("c", 20.0)]
+
+
+def test_release_without_request_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim).release()
+
+
+def test_resource_capacity_validation():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = store.get()
+    sim.run()
+    assert got.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer(sim):
+        yield sim.timeout(50)
+        yield store.put("late")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [("late", 50.0)]
+
+
+def test_store_is_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    for item in ("a", "b", "c"):
+        store.put(item)
+    values = [store.get() for _ in range(3)]
+    sim.run()
+    assert [v.value for v in values] == ["a", "b", "c"]
+
+
+def test_bounded_store_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put("first")
+    second = store.put("second")
+    assert not second.triggered
+    got = store.get()
+    sim.run()
+    assert got.value == "first"
+    assert second.processed
+    assert store.items == ("second",)
+
+
+def test_store_len_and_items():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)
+
+
+def test_store_capacity_validation():
+    with pytest.raises(ValueError):
+        Store(Simulator(), capacity=0)
+
+
+def test_multiple_getters_served_in_order():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def consumer(sim, name):
+        item = yield store.get()
+        results.append((name, item))
+
+    sim.process(consumer(sim, "first"))
+    sim.process(consumer(sim, "second"))
+
+    def producer(sim):
+        yield sim.timeout(1)
+        yield store.put("x")
+        yield store.put("y")
+
+    sim.process(producer(sim))
+    sim.run()
+    assert results == [("first", "x"), ("second", "y")]

@@ -1,0 +1,43 @@
+"""Unit tests for deterministic random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_draws():
+    a = RandomStreams(7).stream("clients")
+    b = RandomStreams(7).stream("clients")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_adding_streams_does_not_perturb_existing():
+    solo = RandomStreams(3)
+    first = [solo.stream("target").random() for _ in range(3)]
+
+    noisy = RandomStreams(3)
+    noisy.stream("other").random()  # interleaved extra stream
+    second = [noisy.stream("target").random() for _ in range(3)]
+    assert first == second
+
+
+def test_fork_produces_distinct_family():
+    base = RandomStreams(9)
+    fork = base.fork("machine-1")
+    assert base.stream("s").random() != fork.stream("s").random()
+
+
+def test_fork_is_deterministic():
+    a = RandomStreams(9).fork("m").stream("s").random()
+    b = RandomStreams(9).fork("m").stream("s").random()
+    assert a == b

@@ -1,0 +1,51 @@
+"""Tests for unit conversions and formatting."""
+
+import pytest
+
+from repro import units
+
+
+def test_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 ** 2
+    assert units.GB == 1024 ** 3
+
+
+def test_time_conversions():
+    assert units.us_to_ns(2.5) == 2500.0
+    assert units.ns_to_us(2500.0) == 2.5
+    assert units.SEC == 1e9
+
+
+def test_bandwidth_round_trip():
+    assert units.gbps(200) == pytest.approx(25.0)   # bytes/ns
+    assert units.to_gbps(25.0) == pytest.approx(200.0)
+    assert units.to_gbps(units.gbps(123.4)) == pytest.approx(123.4)
+
+
+def test_gib_per_s():
+    assert units.gib_per_s(1.0) == pytest.approx(1.0737, rel=1e-3)
+
+
+def test_rate_round_trips():
+    assert units.to_mpps(units.mpps(195.0)) == pytest.approx(195.0)
+    assert units.to_mrps(units.mrps(29.0)) == pytest.approx(29.0)
+    assert units.per_second(units.mpps(1.0)) == pytest.approx(1e6)
+
+
+def test_mpps_magnitude():
+    # 195 Mpps = 0.195 events per ns.
+    assert units.mpps(195.0) == pytest.approx(0.195)
+
+
+def test_fmt_size():
+    assert units.fmt_size(512) == "512B"
+    assert units.fmt_size(1536) == "1.5KB"
+    assert units.fmt_size(9 * units.MB) == "9MB"
+    assert units.fmt_size(10 * units.GB) == "10GB"
+
+
+def test_fmt_gbps_and_ns():
+    assert units.fmt_gbps(25.0) == "200.0 Gbps"
+    assert units.fmt_ns(150.0) == "150 ns"
+    assert units.fmt_ns(2650.0) == "2.65 us"

@@ -1,0 +1,114 @@
+"""Tests for trace generation, serialization and replay."""
+
+import io
+import random
+
+import pytest
+
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import Scenario, ThroughputSolver
+from repro.hw.memory.address import AddressRegion
+from repro.net.topology import paper_testbed
+from repro.units import MB
+from repro.workloads import OpMix, RequestStream, UniformPattern
+from repro.workloads.traces import Trace, TraceRecord
+
+
+def make_stream(read=0.7, write=0.3, payload=256, seed=1):
+    region = AddressRegion(0, 4 * MB)
+    return RequestStream(OpMix(read, write, 0.0),
+                         UniformPattern(region, payload,
+                                        rng=random.Random(seed)),
+                         seed=seed)
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        TraceRecord(path="snic-1", op="read", payload=-1, address=0)
+    with pytest.raises(ValueError):
+        TraceRecord(path="warp", op="read", payload=0, address=0)
+    record = TraceRecord(path="snic-2", op="write", payload=64, address=128)
+    assert record.comm_path is CommPath.SNIC2
+    assert record.opcode is Opcode.WRITE
+
+
+def test_generate_and_len():
+    trace = Trace.generate(make_stream(), CommPath.SNIC2, 100)
+    assert len(trace) == 100
+    assert all(r.path == "snic-2" for r in trace)
+    with pytest.raises(ValueError):
+        Trace.generate(make_stream(), CommPath.SNIC2, -1)
+
+
+def test_round_trip_serialization():
+    trace = Trace.generate(make_stream(), CommPath.SNIC1, 50)
+    buffer = io.StringIO()
+    trace.dump(buffer)
+    buffer.seek(0)
+    loaded = Trace.load(buffer)
+    assert loaded.records == trace.records
+
+
+def test_load_rejects_garbage():
+    with pytest.raises(ValueError):
+        Trace.load(io.StringIO("not json\n"))
+    with pytest.raises(ValueError):
+        Trace.load(io.StringIO('{"path": "snic-1"}\n'))  # missing fields
+
+
+def test_load_skips_blank_lines():
+    trace = Trace.generate(make_stream(), CommPath.SNIC1, 3)
+    buffer = io.StringIO()
+    trace.dump(buffer)
+    text = buffer.getvalue() + "\n\n"
+    assert len(Trace.load(io.StringIO(text))) == 3
+
+
+def test_summarize_and_footprint():
+    trace = Trace([
+        TraceRecord("snic-1", "read", 64, 0),
+        TraceRecord("snic-1", "read", 64, 1000),
+        TraceRecord("snic-2", "write", 256, 4096),
+    ])
+    summary = trace.summarize()
+    assert summary[("snic-1", "read", 64)] == 2
+    assert summary[("snic-2", "write", 256)] == 1
+    assert trace.footprint() == 4096 + 256
+    assert Trace().footprint() == 0
+
+
+def test_as_flows_weights_sum_to_shares():
+    trace = Trace.generate(make_stream(read=0.7, write=0.3),
+                           CommPath.SNIC2, 1000)
+    flows = trace.as_flows()
+    assert len(flows) == 2
+    assert sum(f.weight for f in flows) == pytest.approx(1.0)
+    reads = next(f for f in flows if f.op is Opcode.READ)
+    assert 0.6 <= reads.weight <= 0.8
+
+
+def test_as_flows_min_share_folds_rare_classes():
+    records = ([TraceRecord("snic-1", "read", 64, 0)] * 99
+               + [TraceRecord("snic-1", "write", 64, 0)])
+    flows = Trace(records).as_flows(min_share=0.05)
+    assert len(flows) == 1
+    assert flows[0].op is Opcode.READ
+
+
+def test_as_flows_validation():
+    with pytest.raises(ValueError):
+        Trace().as_flows()
+    one = Trace([TraceRecord("snic-1", "read", 64, 0)])
+    with pytest.raises(ValueError):
+        one.as_flows(min_share=1.5)
+
+
+def test_trace_drives_the_solver():
+    trace = Trace.generate(make_stream(payload=512), CommPath.SNIC2, 500)
+    flows = trace.as_flows(requesters=8)
+    result = ThroughputSolver().solve(Scenario(paper_testbed(), flows))
+    assert result.total_rate > 0
+    # Weighted allocation: rates proportional to trace shares.
+    ratio = result.rates[0] / result.rates[1]
+    share_ratio = flows[0].weight / flows[1].weight
+    assert ratio == pytest.approx(share_ratio, rel=0.01)
