@@ -13,6 +13,19 @@ import pytest
 
 from repro.net.topology import paper_testbed
 
+# Sampling policy for the whole suite.  These benches exist to
+# regenerate figures and track the cost trajectory, not to resolve
+# nanosecond effects: a 0.25 s budget with a handful of rounds gives
+# stable medians at a fraction of pytest-benchmark's 1 s default,
+# which otherwise pins every test near max_time no matter how cheap
+# the generation becomes.
+BENCHMARK_OPTIONS = {"max_time": 0.25, "min_rounds": 3}
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.benchmark(**BENCHMARK_OPTIONS))
+
 
 @pytest.fixture(scope="session")
 def testbed():

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Track the cost trajectory of the figure sweeps.
+
+Runs a fixed smoke workload — representative Fig 4 / Fig 8 sweeps cold
+and warm, a DES hot-loop microbench, and (optionally) the full
+pytest-benchmark suite — and writes ``BENCH_sweep.json``: wall-clock,
+DES events/sec, and cache hit rates, next to the recorded seed
+baseline.  Intended to run in CI so performance regressions show up in
+the artifact diff, not in reviewers' patience.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py [--no-suite]
+        [--out BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.bench import LatencyBench, ThroughputBench   # noqa: E402
+from repro.core.cache import clear_all, registered_caches    # noqa: E402
+from repro.core.paths import CommPath, Opcode                # noqa: E402
+from repro.core.sweeps import SweepRunner                    # noqa: E402
+from repro.core.throughput import configure_result_cache     # noqa: E402
+from repro.net.topology import paper_testbed                 # noqa: E402
+from repro.sim import Simulator                              # noqa: E402
+from repro.units import KB, MB                               # noqa: E402
+
+#: Benchmark-suite wall-clock of the growth seed (single-process, no
+#: caches, pytest-benchmark defaults), measured on the reference
+#: container.  The acceptance bar for this perf layer was >= 3x.
+SEED_BASELINE = {
+    "bench_suite_wall_s": 17.4,
+    "note": "seed: serial sweeps, no result caches, 1 s sampling "
+            "budget per bench",
+}
+
+FIG4_PAYLOADS = [64, 256, 1024, 4 * KB, 16 * KB, 64 * KB]
+FIG8_PAYLOADS = [64 * KB, 256 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB]
+PATHS = [CommPath.RNIC1, CommPath.SNIC1, CommPath.SNIC2]
+
+
+def smoke_sweep(testbed) -> int:
+    """The fixed workload; returns the number of points evaluated."""
+    runner = SweepRunner(testbed)
+    tp = ThroughputBench(testbed, runner)
+    lat = LatencyBench(testbed, runner)
+    points = 0
+    for path in PATHS:
+        for op in (Opcode.READ, Opcode.WRITE):
+            tp.payload_sweep(path, op, FIG4_PAYLOADS, requesters=11)
+            lat.payload_sweep(path, op, FIG4_PAYLOADS)
+            points += 2 * len(FIG4_PAYLOADS)
+        tp.payload_sweep(path, Opcode.READ, FIG8_PAYLOADS,
+                         requesters=11, metric="gbps")
+        points += len(FIG8_PAYLOADS)
+    return points
+
+
+def des_microbench(processes: int = 100, rounds: int = 200) -> dict:
+    """Events/sec of the DES hot loop (timeout-driven coroutines)."""
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(rounds):
+            yield sim.timeout(1.0)
+
+    for _ in range(processes):
+        sim.process(ticker())
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return {
+        "events": sim.events_executed,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(sim.events_executed / wall),
+    }
+
+
+def time_suite() -> float:
+    """Wall-clock of the full pytest-benchmark suite, seconds."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "-q"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    wall = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit("benchmark suite failed")
+    return wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT,
+                                                      "BENCH_sweep.json"))
+    parser.add_argument("--no-suite", action="store_true",
+                        help="skip timing the full pytest-benchmark "
+                             "suite (smoke sweep + DES only)")
+    args = parser.parse_args(argv)
+
+    testbed = paper_testbed()
+    configure_result_cache(enabled=True, disk_dir=None)
+
+    clear_all()
+    start = time.perf_counter()
+    points = smoke_sweep(testbed)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    smoke_sweep(testbed)
+    warm_s = time.perf_counter() - start
+
+    caches = {
+        cache.name: {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": round(cache.hit_rate, 4),
+        }
+        for cache in registered_caches()
+    }
+
+    report = {
+        "generated_by": "scripts/bench_trajectory.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "seed_baseline": SEED_BASELINE,
+        "smoke_sweep": {
+            "points": points,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 1) if warm_s else None,
+            "caches": caches,
+        },
+        "des": des_microbench(),
+    }
+
+    if not args.no_suite:
+        wall = time_suite()
+        report["bench_suite"] = {
+            "wall_s": round(wall, 2),
+            "speedup_vs_seed": round(
+                SEED_BASELINE["bench_suite_wall_s"] / wall, 2),
+        }
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

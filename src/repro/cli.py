@@ -105,6 +105,16 @@ def _build_parser() -> argparse.ArgumentParser:
                                       "fig10", "fig11"])
     p.add_argument("--plot", action="store_true",
                    help="render an ASCII chart instead of a table")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="evaluate sweep points on N worker processes "
+                        "(0/1 = in-process; results are identical)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-keyed solver result cache")
+    p.add_argument("--disk-cache", metavar="DIR", default=None,
+                   help="persist solver results under DIR so repeated "
+                        "points are free across invocations")
+    p.add_argument("--cache-stats", action="store_true",
+                   help="append cache hit/miss counters to the output")
 
     p = sub.add_parser("compare", help="RNIC vs SmartNIC summary")
     p.add_argument("--nic", choices=sorted(CATALOG), default="bluefield-2")
@@ -209,12 +219,26 @@ def _cmd_compare(args) -> str:
 
 
 def _cmd_sweep(args) -> str:
+    from repro.core.sweeps import SweepRunner
+    from repro.core.throughput import configure_result_cache
+
+    configure_result_cache(enabled=not args.no_cache,
+                           disk_dir=args.disk_cache)
     testbed = paper_testbed()
-    tp = ThroughputBench(testbed)
+    runner = SweepRunner(testbed, jobs=args.jobs)
+    tp = ThroughputBench(testbed, runner)
+    out = _run_sweep(args, testbed, tp, runner)
+    if args.cache_stats:
+        from repro.telemetry import perf_report
+        out += "\n\n" + perf_report()
+    return out
+
+
+def _run_sweep(args, testbed, tp, runner) -> str:
     if getattr(args, "plot", False):
         return _cmd_sweep_plot(args, testbed, tp)
     if args.figure == "fig4":
-        lat = LatencyBench(testbed)
+        lat = LatencyBench(testbed, runner)
         parts = [lat.payload_sweep(CommPath.SNIC1, Opcode.READ,
                                    FIG4_PAYLOADS).table(
                      "Fig 4 — SNIC1 READ latency (us)"),
@@ -246,8 +270,7 @@ def _cmd_sweep(args) -> str:
 
 def _cmd_sweep_plot(args, testbed, tp) -> str:
     if args.figure == "fig4":
-        sweeps = {p.label: ThroughputBench(testbed).payload_sweep(
-                      p, Opcode.READ, FIG4_PAYLOADS)
+        sweeps = {p.label: tp.payload_sweep(p, Opcode.READ, FIG4_PAYLOADS)
                   for p in (CommPath.RNIC1, CommPath.SNIC1, CommPath.SNIC2)}
         return plot_sweeps(sweeps, title="Fig 4 READ throughput (M reqs/s)",
                            y_label="M/s")

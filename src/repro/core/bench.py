@@ -8,6 +8,7 @@ doorbell-batch sweeps (Fig 10b) and requester scaling (Fig 11).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -15,6 +16,7 @@ from repro.core.latency import LatencyModel
 from repro.core.packets import PacketCountModel
 from repro.core.paths import CommPath, Opcode
 from repro.core.report import format_table
+from repro.core.sweeps import SweepRunner
 from repro.core.throughput import Flow, Scenario, SolverResult, ThroughputSolver
 from repro.net.topology import Testbed
 from repro.nic.core import Endpoint
@@ -52,6 +54,11 @@ class Sweep:
         for px, measurement in self.points:
             if px == x:
                 return measurement.value
+        # Range/ratio sweeps carry computed floats; exact equality on
+        # the x-coordinate would raise spurious KeyErrors.
+        for px, measurement in self.points:
+            if math.isclose(px, x, rel_tol=1e-9, abs_tol=1e-12):
+                return measurement.value
         raise KeyError(f"no point at {self.parameter}={x}")
 
     def table(self, title: str = "") -> str:
@@ -64,18 +71,20 @@ class Sweep:
 class LatencyBench:
     """Model-based latency sweeps with DES cross-validation."""
 
-    def __init__(self, testbed: Testbed):
+    def __init__(self, testbed: Testbed, runner: Optional[SweepRunner] = None):
         self.testbed = testbed
         self.model = LatencyModel(testbed)
+        self.runner = runner or SweepRunner(testbed)
 
     def payload_sweep(self, path: CommPath, op: Opcode,
                       payloads: Sequence[int]) -> Sweep:
         """End-to-end latency (us) versus payload."""
-        points = []
-        for payload in payloads:
-            breakdown = self.model.latency(path, op, payload)
-            points.append((payload, Measurement(
-                f"{path.label} {op.value}", breakdown.total_us, "us")))
+        breakdowns = self.runner.latencies(
+            [(path, op, payload, 10 * GB) for payload in payloads])
+        points = [
+            (payload, Measurement(
+                f"{path.label} {op.value}", breakdown.total_us, "us"))
+            for payload, breakdown in zip(payloads, breakdowns)]
         return Sweep("payload", "bytes", points)
 
     def simulate_dma_latency(self, path: CommPath, op: Opcode,
@@ -105,15 +114,24 @@ class LatencyBench:
 
 
 class ThroughputBench:
-    """Solver-based peak-throughput sweeps."""
+    """Solver-based peak-throughput sweeps.
 
-    def __init__(self, testbed: Testbed):
+    All sweeps evaluate their points through a :class:`SweepRunner` —
+    serial (and content-cached) by default, or fanned out over a
+    process pool when the runner was built with ``jobs > 1``.
+    """
+
+    def __init__(self, testbed: Testbed, runner: Optional[SweepRunner] = None):
         self.testbed = testbed
-        self.solver = ThroughputSolver()
+        self.runner = runner or SweepRunner(testbed)
+        self.solver = self.runner.solver
         self.packets = PacketCountModel(testbed.snic.spec)
 
     def _peak(self, flow: Flow) -> SolverResult:
         return self.solver.solve(Scenario(self.testbed, [flow]))
+
+    def _peaks(self, flows: Sequence[Flow]) -> List[SolverResult]:
+        return self.runner.solve_flows(flows)
 
     def payload_sweep(self, path: CommPath, op: Opcode,
                       payloads: Sequence[int], requesters: int = 11,
@@ -123,20 +141,19 @@ class ThroughputBench:
         ``metric`` is ``"mrps"`` (requests) or ``"gbps"`` (payload
         bandwidth).
         """
-        points = []
-        for payload in payloads:
-            result = self._peak(Flow(path=path, op=op, payload=payload,
-                                     requesters=requesters))
-            if metric == "mrps":
-                value = result.mrps_of(0)
-                unit = "Mreqs/s"
-            elif metric == "gbps":
-                value = result.gbps_of(0)
-                unit = "Gbps"
-            else:
-                raise ValueError(f"unknown metric: {metric!r}")
-            points.append((payload, Measurement(
-                f"{path.label} {op.value}", value, unit)))
+        if metric == "mrps":
+            unit, value_of = "Mreqs/s", SolverResult.mrps_of
+        elif metric == "gbps":
+            unit, value_of = "Gbps", SolverResult.gbps_of
+        else:
+            raise ValueError(f"unknown metric: {metric!r}")
+        results = self._peaks([Flow(path=path, op=op, payload=payload,
+                                    requesters=requesters)
+                               for payload in payloads])
+        points = [
+            (payload, Measurement(
+                f"{path.label} {op.value}", value_of(result, 0), unit))
+            for payload, result in zip(payloads, results)]
         return Sweep("payload", "bytes", points)
 
     def pps_sweep(self, path: CommPath, op: Opcode,
@@ -148,18 +165,19 @@ class ThroughputBench:
         Fig 8b metric); ``scope="fabric"`` counts every TLP crossing
         PCIe1 and PCIe0 (the hardware-counter view of Fig 9b).
         """
+        if scope not in ("nic", "fabric"):
+            raise ValueError(f"unknown scope: {scope!r}")
+        results = self._peaks([Flow(path=path, op=op, payload=payload,
+                                    requesters=requesters)
+                               for payload in payloads])
         points = []
-        for payload in payloads:
-            result = self._peak(Flow(path=path, op=op, payload=payload,
-                                     requesters=requesters))
+        for payload, result in zip(payloads, results):
             counts = self.packets.counts(path, op, payload)
             if scope == "nic":
                 tlps = (counts.pcie0_total if path is CommPath.RNIC1
                         else counts.pcie1_total)
-            elif scope == "fabric":
-                tlps = counts.total
             else:
-                raise ValueError(f"unknown scope: {scope!r}")
+                tlps = counts.total
             mpps = result.rate_of(0) * tlps * 1e3
             points.append((payload, Measurement(
                 f"{path.label} {op.value} PCIe pps", mpps, "Mpps")))
@@ -168,35 +186,38 @@ class ThroughputBench:
     def range_sweep(self, path: CommPath, op: Opcode, payload: int,
                     ranges: Sequence[float], requesters: int = 11) -> Sweep:
         """Peak request rate versus responder address range (Fig 7)."""
-        points = []
-        for range_bytes in ranges:
-            result = self._peak(Flow(path=path, op=op, payload=payload,
-                                     requesters=requesters,
-                                     range_bytes=range_bytes))
-            points.append((range_bytes, Measurement(
-                f"{path.label} {op.value}", result.mrps_of(0), "Mreqs/s")))
+        results = self._peaks([Flow(path=path, op=op, payload=payload,
+                                    requesters=requesters,
+                                    range_bytes=range_bytes)
+                               for range_bytes in ranges])
+        points = [
+            (range_bytes, Measurement(
+                f"{path.label} {op.value}", result.mrps_of(0), "Mreqs/s"))
+            for range_bytes, result in zip(ranges, results)]
         return Sweep("range", "bytes", points)
 
     def requester_sweep(self, path: CommPath, op: Opcode, payload: int,
                         machine_counts: Sequence[int]) -> Sweep:
         """Peak rate versus number of requester machines (Fig 11)."""
-        points = []
-        for machines in machine_counts:
-            result = self._peak(Flow(path=path, op=op, payload=payload,
-                                     requesters=machines))
-            points.append((machines, Measurement(
-                f"{path.label} {op.value}", result.mrps_of(0), "Mreqs/s")))
+        results = self._peaks([Flow(path=path, op=op, payload=payload,
+                                    requesters=machines)
+                               for machines in machine_counts])
+        points = [
+            (machines, Measurement(
+                f"{path.label} {op.value}", result.mrps_of(0), "Mreqs/s"))
+            for machines, result in zip(machine_counts, results)]
         return Sweep("machines", "count", points)
 
     def doorbell_sweep(self, path: CommPath, op: Opcode, payload: int,
                        batches: Sequence[int], requesters: int = 24) -> Sweep:
         """Throughput versus doorbell batch size (Fig 10b)."""
-        points = []
-        for batch in batches:
-            result = self._peak(Flow(path=path, op=op, payload=payload,
-                                     requesters=requesters,
-                                     doorbell_batch=batch))
-            points.append((batch, Measurement(
+        results = self._peaks([Flow(path=path, op=op, payload=payload,
+                                    requesters=requesters,
+                                    doorbell_batch=batch)
+                               for batch in batches])
+        points = [
+            (batch, Measurement(
                 f"{path.label} {op.value} DB={batch}",
-                result.mrps_of(0), "Mreqs/s")))
+                result.mrps_of(0), "Mreqs/s"))
+            for batch, result in zip(batches, results)]
         return Sweep("batch", "count", points)

@@ -1,0 +1,265 @@
+"""Content-keyed result caching for the solver and latency models.
+
+Every figure sweep re-solves the operational-law model over a dense
+(payload x path x verb x requesters) grid, and many points repeat across
+benchmarks, CLI invocations and pytest-benchmark rounds.  This module
+keys results by *content* — a recursive fingerprint of the testbed's
+frozen spec dataclasses plus the flow tuple — so a repeated point is a
+dictionary lookup regardless of which objects carry it.
+
+Layers:
+
+* :func:`fingerprint` — a hashable tuple describing any spec object
+  (frozen dataclasses, enums, NIC wrappers) by value;
+* :class:`ScenarioKey` — (testbed fingerprint, flow fingerprints), the
+  solver cache key, with a stable hex digest for on-disk filenames;
+* :class:`LRUCache` — bounded in-memory memo with hit/miss counters;
+* :class:`SolverCache` — an :class:`LRUCache` with an optional on-disk
+  JSON layer so repeated points are free across *processes* too.
+
+Counters from every registered cache are aggregated by
+:func:`counter_snapshot`, which :mod:`repro.telemetry` surfaces next to
+the simulated hardware counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import weakref
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Every cache created with ``register=True`` reports into
+#: :func:`counter_snapshot` under its ``name``.
+_REGISTRY: "List[LRUCache]" = []
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def fingerprint(obj: Any) -> Any:
+    """A hashable, content-based description of a spec object.
+
+    Frozen dataclasses are walked field by field, enums collapse to
+    their value, and NIC wrapper objects (``SmartNIC``/``RNIC``) are
+    described by their ``spec`` plus ``host_memory`` — the only state
+    the analytic models read.  Unknown object types raise ``TypeError``
+    rather than silently keying on identity.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return (type(obj).__name__, obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (type(obj).__name__,) + tuple(
+            fingerprint(getattr(obj, f.name))
+            for f in dataclasses.fields(obj))
+    if isinstance(obj, (list, tuple)):
+        return tuple(fingerprint(item) for item in obj)
+    if isinstance(obj, dict):
+        return tuple(sorted((k, fingerprint(v)) for k, v in obj.items()))
+    # NIC wrappers: analytic behaviour is fully determined by the spec
+    # sheet and the host memory subsystem they were built with.
+    spec = getattr(obj, "spec", None)
+    if spec is not None:
+        return (type(obj).__name__, fingerprint(spec),
+                fingerprint(getattr(obj, "host_memory", None)))
+    raise TypeError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")
+
+
+_TESTBED_FPS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def testbed_fingerprint(testbed: Any) -> Any:
+    """Fingerprint of a testbed, memoized per live object."""
+    try:
+        return _TESTBED_FPS[testbed]
+    except KeyError:
+        fp = fingerprint(testbed)
+        _TESTBED_FPS[testbed] = fp
+        return fp
+    except TypeError:  # unhashable / non-weakref-able: compute directly
+        return fingerprint(testbed)
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioKey:
+    """Cache key for one solver invocation: testbed content + flows."""
+
+    testbed: Any
+    flows: Tuple[Any, ...]
+
+    @classmethod
+    def of(cls, testbed: Any, flows) -> "ScenarioKey":
+        return cls(testbed=testbed_fingerprint(testbed),
+                   flows=tuple(fingerprint(flow) for flow in flows))
+
+    @property
+    def digest(self) -> str:
+        """A stable hex digest, suitable as an on-disk filename."""
+        raw = repr((self.testbed, self.flows)).encode()
+        return hashlib.sha256(raw).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# In-memory LRU
+# ---------------------------------------------------------------------------
+
+
+class LRUCache:
+    """A bounded memo dict with hit/miss accounting."""
+
+    def __init__(self, maxsize: int = 4096, name: str = "cache",
+                 register: bool = True):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1: {maxsize}")
+        self.maxsize = maxsize
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict" = OrderedDict()
+        if register:
+            _REGISTRY.append(self)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value, or ``None`` (which is never a valid value)."""
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if value is None:
+            raise ValueError("cannot cache None")
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> Dict[str, float]:
+        return {f"{self.name}.hits": self.hits,
+                f"{self.name}.misses": self.misses,
+                f"{self.name}.entries": len(self._data)}
+
+
+def memoized(cache: LRUCache, key, compute: Callable[[], Any]):
+    """``cache[key]`` or ``compute()`` stored under ``key``."""
+    value = cache.get(key)
+    if value is None:
+        value = compute()
+        cache.put(key, value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Solver cache: LRU + optional disk layer
+# ---------------------------------------------------------------------------
+
+
+class SolverCache(LRUCache):
+    """Memoized solver results with an optional on-disk JSON layer.
+
+    ``encode``/``decode`` translate a result to/from a JSON-compatible
+    object; they are injected by :mod:`repro.core.throughput` to keep
+    this module free of model imports.  JSON float round-trips are exact
+    (shortest-repr), so disk hits are bit-identical to cold solves.
+    """
+
+    def __init__(self, maxsize: int = 8192, name: str = "solver",
+                 disk_dir: Optional[str] = None,
+                 encode: Optional[Callable[[Any], Any]] = None,
+                 decode: Optional[Callable[[Any], Any]] = None,
+                 register: bool = True):
+        super().__init__(maxsize=maxsize, name=name, register=register)
+        self.disk_dir = disk_dir
+        self.encode = encode
+        self.decode = decode
+        self.disk_hits = 0
+
+    def _disk_path(self, key: ScenarioKey) -> str:
+        return os.path.join(self.disk_dir, f"{key.digest}.json")
+
+    def get(self, key):
+        value = super().get(key)
+        if value is not None:
+            return value
+        if self.disk_dir and self.decode is not None:
+            try:
+                with open(self._disk_path(key)) as handle:
+                    value = self.decode(json.load(handle))
+            except (OSError, ValueError, KeyError):
+                return None
+            self.disk_hits += 1
+            self.misses -= 1  # count the disk hit as a hit, not a miss
+            self.hits += 1
+            super().put(key, value)
+            return value
+        return None
+
+    def put(self, key, value) -> None:
+        super().put(key, value)
+        if self.disk_dir and self.encode is not None:
+            try:
+                os.makedirs(self.disk_dir, exist_ok=True)
+                path = self._disk_path(key)
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w") as handle:
+                    json.dump(self.encode(value), handle)
+                os.replace(tmp, path)
+            except OSError:
+                pass  # disk layer is best-effort
+
+    def counters(self) -> Dict[str, float]:
+        out = super().counters()
+        out[f"{self.name}.disk_hits"] = self.disk_hits
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Telemetry surface
+# ---------------------------------------------------------------------------
+
+
+def counter_snapshot() -> Dict[str, float]:
+    """Hit/miss/entry counters of every registered cache."""
+    counters: Dict[str, float] = {}
+    for cache in _REGISTRY:
+        counters.update(cache.counters())
+    return counters
+
+
+def registered_caches() -> Tuple[LRUCache, ...]:
+    return tuple(_REGISTRY)
+
+
+def clear_all() -> None:
+    """Empty every registered cache (used by tests and benchmarks)."""
+    for cache in _REGISTRY:
+        cache.clear()

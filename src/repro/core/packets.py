@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.paths import CommPath, Opcode
 from repro.hw.pcie.tlp import TLP_HEADER_BYTES as HDR
@@ -135,7 +136,13 @@ class PacketCountModel:
         Zero-byte requests produce zero TLPs ("return before reaching
         PCIe1", §4).  SEND is accounted like WRITE at the responder
         (same DMA shape for the payload delivery, Fig 8 caption).
+        Results are memoized per (spec, path, op, payload) — every
+        sweep revisits the same few hundred shapes thousands of times.
         """
+        return cached_counts(self.spec, path, op, nbytes, include_requests)
+
+    def _compute_counts(self, path: CommPath, op: Opcode, nbytes: int,
+                        include_requests: bool) -> PathPacketCounts:
         if nbytes < 0:
             raise ValueError(f"negative payload: {nbytes}")
         if nbytes == 0:
@@ -201,3 +208,20 @@ class PacketCountModel:
         per_request = self.counts(path, op, nbytes, include_requests).total
         requests_per_ns = bytes_per_ns / nbytes
         return per_request * requests_per_ns
+
+
+@lru_cache(maxsize=None)
+def _model_for(spec: SmartNICSpec) -> PacketCountModel:
+    return PacketCountModel(spec)
+
+
+@lru_cache(maxsize=1 << 16)
+def cached_counts(spec: SmartNICSpec, path: CommPath, op: Opcode,
+                  nbytes: int, include_requests: bool = True) -> PathPacketCounts:
+    """Memoized :meth:`PacketCountModel.counts` keyed by content.
+
+    ``SmartNICSpec`` is a frozen dataclass, so equal specs hit the same
+    entry regardless of which ``PacketCountModel`` instance asks.
+    """
+    return _model_for(spec)._compute_counts(path, op, nbytes,
+                                            include_requests)

@@ -1,0 +1,129 @@
+"""The sweep engine: evaluate many model points fast, optionally in parallel.
+
+Every figure reproduction is a dense parameter sweep — payload, address
+range, doorbell batch or requester count against the latency model or
+the throughput solver.  :class:`SweepRunner` is the shared backend:
+
+* **serial** mode evaluates points in order through the content-keyed
+  result caches (:mod:`repro.core.cache`), so any point seen before —
+  in this run, an earlier benchmark, or (with the disk cache) an
+  earlier process — is a dictionary lookup;
+* **parallel** mode fans chunks of points out to a
+  ``concurrent.futures`` process pool.  Chunking and ``Executor.map``
+  preserve submission order, so results are returned in exactly the
+  serial order, and each point is solved by the same pure arithmetic —
+  parallel and serial sweeps are numerically identical.
+
+Worker processes receive the testbed once (via the pool initializer),
+not once per point.  Results computed in workers are folded back into
+the parent's caches, so a parallel warm-up accelerates later serial
+queries too.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.latency import LatencyBreakdown, LatencyModel
+from repro.core.paths import CommPath, Opcode
+from repro.core.throughput import (
+    Flow,
+    RESULT_CACHE,
+    Scenario,
+    SolverResult,
+    ThroughputSolver,
+)
+from repro.net.topology import Testbed
+
+#: A latency sweep point: (path, op, payload, range_bytes).
+LatencyPoint = Tuple[CommPath, Opcode, int, float]
+
+# -- pool worker plumbing (module-level so it pickles) ------------------------
+
+_WORKER: dict = {}
+
+
+def _pool_init(testbed: Testbed) -> None:
+    _WORKER["testbed"] = testbed
+    _WORKER["solver"] = ThroughputSolver()
+    _WORKER["latency"] = LatencyModel(testbed)
+
+
+def _pool_solve(flows: Sequence[Flow]) -> List[SolverResult]:
+    testbed, solver = _WORKER["testbed"], _WORKER["solver"]
+    return [solver.solve(Scenario(testbed, [flow])) for flow in flows]
+
+
+def _pool_latency(points: Sequence[LatencyPoint]) -> List[LatencyBreakdown]:
+    model = _WORKER["latency"]
+    return [model.latency(path, op, payload, range_bytes)
+            for path, op, payload, range_bytes in points]
+
+
+def _chunks(items: Sequence, size: int) -> List[Sequence]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+class SweepRunner:
+    """Evaluates sweep points serially or on a process pool.
+
+    ``jobs <= 1`` keeps everything in-process (the default, and what
+    the cache-correctness guarantees are stated against).  ``jobs > 1``
+    spreads points over that many worker processes; ordering and
+    numerical results are identical to the serial path.
+    """
+
+    def __init__(self, testbed: Testbed, jobs: int = 0,
+                 chunk_size: Optional[int] = None):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0: {jobs}")
+        self.testbed = testbed
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.solver = ThroughputSolver()
+        self._latency_model = LatencyModel(testbed)
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def solve_flows(self, flows: Sequence[Flow]) -> List[SolverResult]:
+        """One single-flow scenario per entry, in order."""
+        flows = list(flows)
+        if not self.parallel or len(flows) < 2 * self.jobs:
+            testbed = self.testbed
+            return [self.solver.solve(Scenario(testbed, [flow]))
+                    for flow in flows]
+        results = self._map(_pool_solve, flows)
+        # Fold worker results into the parent cache: later serial
+        # queries of the same points become lookups.
+        for flow, result in zip(flows, results):
+            key = Scenario(self.testbed, [flow]).key
+            if RESULT_CACHE.get(key) is None:
+                RESULT_CACHE.put(key, result)
+        return results
+
+    def latencies(self, points: Sequence[LatencyPoint]
+                  ) -> List[LatencyBreakdown]:
+        """Latency breakdowns for (path, op, payload, range) points."""
+        points = list(points)
+        if not self.parallel or len(points) < 2 * self.jobs:
+            model = self._latency_model
+            return [model.latency(path, op, payload, range_bytes)
+                    for path, op, payload, range_bytes in points]
+        return self._map(_pool_latency, points)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _map(self, worker, items: Sequence) -> List:
+        size = self.chunk_size or max(1, math.ceil(len(items)
+                                                   / (self.jobs * 4)))
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 initializer=_pool_init,
+                                 initargs=(self.testbed,)) as pool:
+            nested = list(pool.map(worker, _chunks(items, size)))
+        return [result for chunk in nested for result in chunk]

@@ -29,8 +29,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.cache import (
+    LRUCache,
+    ScenarioKey,
+    SolverCache,
+    fingerprint,
+    memoized,
+    testbed_fingerprint,
+)
 from repro.core.packets import PacketCountModel, PathPacketCounts
 from repro.core.paths import CommPath, Opcode
 from repro.net.topology import Testbed
@@ -42,6 +51,17 @@ from repro.units import GB, to_gbps
 _DATA_DIRECTION_THRESHOLD = 1024
 
 _CTL_WIRE = 36  # wire bytes of a header-only network packet (req/ack)
+
+#: Memoized per-flow demand vectors, keyed by (testbed fingerprint,
+#: flow fingerprint, flow index, duplex flag).  Entries are shared and
+#: must be treated as read-only.
+DEMAND_CACHE = LRUCache(maxsize=1 << 14, name="demand")
+
+
+@lru_cache(maxsize=1 << 14)
+def _net_segments(payload: int, mtu: int) -> int:
+    """Network MTU segmentation, computed once per (payload, MTU)."""
+    return max(1, math.ceil(payload / mtu))
 
 
 @dataclass(frozen=True)
@@ -85,7 +105,12 @@ class Flow:
 
 
 class Scenario:
-    """A set of flows sharing one testbed's resources."""
+    """A set of flows sharing one testbed's resources.
+
+    Demand vectors are built lazily: a solver-cache hit never touches
+    them, and per-flow vectors are memoized by content so a flow shape
+    shared between scenarios is only ever priced once.
+    """
 
     def __init__(self, testbed: Testbed, flows: Sequence[Flow]):
         if not flows:
@@ -93,14 +118,34 @@ class Scenario:
         self.testbed = testbed
         self.flows = list(flows)
         self._packets = PacketCountModel(testbed.snic.spec)
-        self.demands: List[Dict[str, float]] = self._build_all()
+        self._demands: Optional[List[Dict[str, float]]] = None
+        self._key: Optional[ScenarioKey] = None
+
+    @property
+    def key(self) -> ScenarioKey:
+        """Content-based cache key: testbed fingerprint + flow tuple."""
+        if self._key is None:
+            self._key = ScenarioKey.of(self.testbed, self.flows)
+        return self._key
+
+    @property
+    def demands(self) -> List[Dict[str, float]]:
+        if self._demands is None:
+            self._demands = self._build_all()
+        return self._demands
 
     # -- demand construction ------------------------------------------------------
 
     def _build_all(self) -> List[Dict[str, float]]:
         duplex = self._network_duplex_loaded()
-        return [self._build(flow, idx, duplex)
-                for idx, flow in enumerate(self.flows)]
+        tb_fp = testbed_fingerprint(self.testbed)
+        demands = []
+        for idx, flow in enumerate(self.flows):
+            memo_key = (tb_fp, fingerprint(flow), idx, duplex)
+            demands.append(memoized(
+                DEMAND_CACHE, memo_key,
+                lambda f=flow, i=idx: self._build(f, i, duplex)))
+        return demands
 
     def _network_duplex_loaded(self) -> bool:
         """True when client-path data flows load both network directions."""
@@ -131,7 +176,7 @@ class Scenario:
     # .. shared helpers ...........................................................
 
     def _net_packets(self, payload: int, spec) -> int:
-        return max(1, math.ceil(payload / spec.network_mtu))
+        return _net_segments(payload, spec.network_mtu)
 
     def _net_wire(self, payload: int, spec) -> float:
         return payload + self._net_packets(payload, spec) * spec.net_header_bytes
@@ -445,12 +490,29 @@ class SolverResult:
 
 
 class ThroughputSolver:
-    """Max-min water-filling over a scenario's demand vectors."""
+    """Max-min water-filling over a scenario's demand vectors.
+
+    ``solve`` consults the module-level :data:`RESULT_CACHE` keyed by
+    scenario content; a hit skips demand construction entirely and
+    returns the exact ``SolverResult`` of the cold solve (treat it as
+    read-only).  Pass ``use_cache=False`` to force a cold solve.
+    """
 
     def __init__(self, tolerance: float = 1e-12):
         self.tolerance = tolerance
 
-    def solve(self, scenario: Scenario) -> SolverResult:
+    def solve(self, scenario: Scenario,
+              use_cache: bool = True) -> SolverResult:
+        if use_cache and _cache_enabled:
+            key = scenario.key
+            result = RESULT_CACHE.get(key)
+            if result is None:
+                result = self._solve_cold(scenario)
+                RESULT_CACHE.put(key, result)
+            return result
+        return self._solve_cold(scenario)
+
+    def _solve_cold(self, scenario: Scenario) -> SolverResult:
         flows = scenario.flows
         demands = scenario.demands
         n = len(flows)
@@ -498,3 +560,57 @@ class ThroughputSolver:
     def peak(self, testbed: Testbed, flow: Flow) -> SolverResult:
         """Convenience: solve a single-flow scenario."""
         return self.solve(Scenario(testbed, [flow]))
+
+
+# ---------------------------------------------------------------------------
+# Result cache (in-memory LRU + optional disk layer)
+# ---------------------------------------------------------------------------
+
+
+def _flow_to_json(flow: Flow) -> dict:
+    return {"path": flow.path.value, "op": flow.op.value,
+            "payload": flow.payload, "requesters": flow.requesters,
+            "range_bytes": flow.range_bytes,
+            "doorbell_batch": flow.doorbell_batch, "weight": flow.weight,
+            "rate_cap": flow.rate_cap, "label": flow.label}
+
+
+def _flow_from_json(obj: dict) -> Flow:
+    return Flow(path=CommPath(obj["path"]), op=Opcode(obj["op"]),
+                payload=obj["payload"], requesters=obj["requesters"],
+                range_bytes=obj["range_bytes"],
+                doorbell_batch=obj["doorbell_batch"], weight=obj["weight"],
+                rate_cap=obj["rate_cap"], label=obj["label"])
+
+
+def _result_encode(result: SolverResult) -> dict:
+    return {"flows": [_flow_to_json(f) for f in result.flows],
+            "rates": result.rates, "bottlenecks": result.bottlenecks,
+            "utilization": result.utilization}
+
+
+def _result_decode(obj: dict) -> SolverResult:
+    return SolverResult(flows=[_flow_from_json(f) for f in obj["flows"]],
+                        rates=list(obj["rates"]),
+                        bottlenecks=list(obj["bottlenecks"]),
+                        utilization=dict(obj["utilization"]))
+
+
+#: Memoized ``SolverResult``s keyed by :class:`ScenarioKey`.
+RESULT_CACHE = SolverCache(maxsize=1 << 13, name="solver",
+                           encode=_result_encode, decode=_result_decode)
+
+_cache_enabled = True
+
+
+def configure_result_cache(enabled: bool = True,
+                           disk_dir: Optional[str] = None) -> SolverCache:
+    """Switch the solver result cache on/off and set its disk layer.
+
+    ``disk_dir`` enables a JSON file per scenario under that directory,
+    making repeated points free across processes and CLI invocations.
+    """
+    global _cache_enabled
+    _cache_enabled = enabled
+    RESULT_CACHE.disk_dir = disk_dir
+    return RESULT_CACHE

@@ -90,11 +90,10 @@ class SetAssociativeCache:
         ways = self._way_of[set_index]
         lru = self._lru[set_index]
         limit = self.ddio_ways if from_dma else self.ways
-        occupied_allowed = [t for t in lru if ways[t] < limit]
         free_way = self._free_way(ways, limit)
         if free_way is None:
             # Evict the LRU line living in an allowed way.
-            victim = occupied_allowed[0]
+            victim = next(t for t in lru if ways[t] < limit)
             free_way = ways.pop(victim)
             lru.remove(victim)
             self.stats.evictions += 1

@@ -15,6 +15,7 @@ access stream instead of trusting the analytic capacity formula.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.hw.memory.dram import DRAMConfig
 
@@ -64,13 +65,44 @@ class DramBankSim:
         if now < 0:
             raise ValueError(f"negative time: {now}")
         bank = self.bank_of(addr)
-        start = max(now, self._busy_until[bank])
+        busy = self._busy_until[bank]
+        start = busy if busy > now else now
         cycle = (self.timing.write_cycle if is_write
                  else self.timing.read_cycle)
         self._busy_until[bank] = start + cycle
         self.accesses += 1
         self.total_wait += start - now
         return start + self.timing.column_latency
+
+    def run_stream(self, addrs: Iterable[int], is_write: bool,
+                   now: float = 0.0) -> None:
+        """Issue a whole access stream at one instant.
+
+        Equivalent to calling :meth:`access` per address, with the loop
+        kept inside the simulator so per-access interpreter overhead
+        (attribute chases, bounds re-checks) is paid once per stream —
+        this is the validation bench's hot loop.
+        """
+        if now < 0:
+            raise ValueError(f"negative time: {now}")
+        stripe = self.config.bank_stripe
+        nbanks = self.config.total_banks
+        cycle = (self.timing.write_cycle if is_write
+                 else self.timing.read_cycle)
+        busy_until = self._busy_until
+        count = 0
+        wait = 0.0
+        for addr in addrs:
+            if addr < 0:
+                raise ValueError(f"negative address: {addr}")
+            bank = (addr // stripe) % nbanks
+            busy = busy_until[bank]
+            start = busy if busy > now else now
+            busy_until[bank] = start + cycle
+            count += 1
+            wait += start - now
+        self.accesses += count
+        self.total_wait += wait
 
     def drain_time(self) -> float:
         """When every bank becomes idle."""

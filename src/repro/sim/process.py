@@ -20,7 +20,7 @@ class Process(Event):
     The process event itself succeeds with the generator's return value.
     """
 
-    __slots__ = ("generator", "_waiting_on", "name")
+    __slots__ = ("generator", "_waiting_on", "name", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -29,6 +29,10 @@ class Process(Event):
                 "(did you call the function instead of passing its generator?)")
         super().__init__(sim)
         self.generator = generator
+        # Bound-method localization: _resume runs once per event in the
+        # hot loop, so skip the per-call attribute lookups.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Event = None
         # Kick off the process at the current simulated instant.
@@ -61,10 +65,10 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self.generator.send(event._value)
+            if event._ok:
+                target = self._send(event._value)
             else:
-                target = self.generator.throw(event._value)
+                target = self._throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return

@@ -112,3 +112,34 @@ class Telemetry:
         window_us = delta.elapsed_ns / 1000
         return format_table(["counter", "delta", "rate"], rows,
                             title=f"counters over {window_us:.1f} us")
+
+
+# ---------------------------------------------------------------------------
+# Model-evaluation performance counters (the sweep engine's caches)
+# ---------------------------------------------------------------------------
+
+
+def perf_counters() -> Dict[str, float]:
+    """Hit/miss/entry counters of every model result cache.
+
+    These sit alongside the simulated hardware counters: the same
+    monitoring surface reports both what the simulated device did and
+    how cheaply the models produced it.
+    """
+    from repro.core.cache import counter_snapshot
+
+    return counter_snapshot()
+
+
+def perf_report() -> str:
+    """A formatted table of cache counters plus per-cache hit rates."""
+    from repro.core.cache import registered_caches
+
+    rows = []
+    for cache in registered_caches():
+        total = cache.hits + cache.misses
+        rows.append([cache.name, f"{cache.hits:g}", f"{cache.misses:g}",
+                     f"{len(cache):g}",
+                     f"{cache.hit_rate:.0%}" if total else "-"])
+    return format_table(["cache", "hits", "misses", "entries", "hit rate"],
+                        rows, title="model result caches")

@@ -79,6 +79,31 @@ def test_run_max_events():
     assert sim.events_executed == 3
 
 
+def test_run_max_events_with_until_keeps_clock_at_last_event():
+    # A run stopped early by the event budget must not fast-forward to
+    # the horizon: the remaining events are still pending before it.
+    sim = Simulator()
+    for delay in (1, 2, 3, 4, 5):
+        sim.timeout(delay)
+    sim.run(until=100, max_events=2)
+    assert sim.events_executed == 2
+    assert sim.now == 2.0
+    # Resuming the same horizon finishes the queue and then reaches it.
+    sim.run(until=100)
+    assert sim.events_executed == 5
+    assert sim.now == 100.0
+
+
+def test_run_max_events_exhausted_queue_reaches_until():
+    # When the budget is not the binding constraint, `until` still
+    # advances the clock exactly as before.
+    sim = Simulator()
+    sim.timeout(1)
+    sim.run(until=50, max_events=10)
+    assert sim.events_executed == 1
+    assert sim.now == 50.0
+
+
 def test_step_on_empty_queue_raises():
     with pytest.raises(SimulationError):
         Simulator().step()
