@@ -11,7 +11,12 @@ the artifact diff, not in reviewers' patience.
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--no-suite]
-        [--out BENCH_sweep.json]
+        [--out BENCH_sweep.json] [--check] [--reps N]
+
+``--check`` re-runs the smoke workload and fails (exit 1) if its cold
+wall-time regressed more than ``BENCH_CHECK_TOLERANCE`` (default 0.25,
+i.e. 25 %) against the recorded ``BENCH_sweep.json`` — without
+rewriting the file.  CI runs the check before regenerating the record.
 """
 
 from __future__ import annotations
@@ -26,11 +31,17 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+from repro.core.batch import BatchSolver, numpy_available    # noqa: E402
 from repro.core.bench import LatencyBench, ThroughputBench   # noqa: E402
 from repro.core.cache import clear_all, registered_caches    # noqa: E402
 from repro.core.paths import CommPath, Opcode                # noqa: E402
 from repro.core.sweeps import SweepRunner                    # noqa: E402
-from repro.core.throughput import configure_result_cache     # noqa: E402
+from repro.core.throughput import (                          # noqa: E402
+    Flow,
+    Scenario,
+    ThroughputSolver,
+    configure_result_cache,
+)
 from repro.net.topology import paper_testbed                 # noqa: E402
 from repro.sim import Simulator                              # noqa: E402
 from repro.units import KB, MB                               # noqa: E402
@@ -48,6 +59,23 @@ FIG4_PAYLOADS = [64, 256, 1024, 4 * KB, 16 * KB, 64 * KB]
 FIG8_PAYLOADS = [64 * KB, 256 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB]
 PATHS = [CommPath.RNIC1, CommPath.SNIC1, CommPath.SNIC2]
 
+#: The vector-engine acceptance grid: a dense Fig-4 payload ramp
+#: (0 plus a geometric 64 B .. 1 MB sweep) across four paths and three
+#: verbs — 384 single-flow points.
+VECTOR_PATHS = [CommPath.RNIC1, CommPath.SNIC1, CommPath.SNIC2,
+                CommPath.SNIC3_H2S]
+VECTOR_OPS = [Opcode.READ, Opcode.WRITE, Opcode.SEND]
+
+
+def vector_payloads(n: int = 32) -> list:
+    vals = {0}
+    step = (1 * MB) ** (1.0 / (n - 2))
+    x = 64.0
+    while len(vals) < n:
+        vals.add(int(x))
+        x *= step
+    return sorted(vals)[:n]
+
 
 def smoke_sweep(testbed) -> int:
     """The fixed workload; returns the number of points evaluated."""
@@ -64,6 +92,51 @@ def smoke_sweep(testbed) -> int:
                          requesters=11, metric="gbps")
         points += len(FIG8_PAYLOADS)
     return points
+
+
+def vector_sweep(testbed, reps: int = 5) -> dict:
+    """Scalar vs vector cold wall-time over the 384-point Fig-4 grid.
+
+    Both engines run against cleared caches each repetition; the best
+    (minimum) time of ``reps`` repetitions is recorded, the standard
+    way to strip scheduler noise from a microbenchmark.
+    """
+    grid = [[Flow(path=path, op=op, payload=payload, requesters=11)]
+            for path in VECTOR_PATHS for op in VECTOR_OPS
+            for payload in vector_payloads()]
+    if not numpy_available():
+        return {"points": len(grid), "skipped": "numpy not installed"}
+
+    solver = ThroughputSolver()
+    batch = BatchSolver()
+
+    def best(fn) -> float:
+        low = float("inf")
+        for _ in range(reps):
+            clear_all()
+            start = time.perf_counter()
+            fn()
+            low = min(low, time.perf_counter() - start)
+        return low
+
+    scalar_s = best(lambda: [solver.solve(Scenario(testbed, flows))
+                             for flows in grid])
+    vector_s = best(lambda: batch.solve(testbed, grid))
+
+    clear_all()
+    batch.solve(testbed, grid)           # fill the result cache
+    start = time.perf_counter()
+    batch.solve(testbed, grid)
+    warm_s = time.perf_counter() - start
+
+    return {
+        "points": len(grid),
+        "scalar_cold_s": round(scalar_s, 4),
+        "vector_cold_s": round(vector_s, 4),
+        "vector_warm_s": round(warm_s, 4),
+        "vector_points_per_sec": round(len(grid) / vector_s),
+        "speedup_vs_scalar": round(scalar_s / vector_s, 2),
+    }
 
 
 def des_microbench(processes: int = 100, rounds: int = 200) -> dict:
@@ -101,6 +174,40 @@ def time_suite() -> float:
     return wall
 
 
+def timed_smoke(testbed, reps: int = 1):
+    """(points, best cold seconds, warm seconds) of the smoke workload."""
+    points = 0
+    cold_s = float("inf")
+    for _ in range(reps):
+        clear_all()
+        start = time.perf_counter()
+        points = smoke_sweep(testbed)
+        cold_s = min(cold_s, time.perf_counter() - start)
+    start = time.perf_counter()
+    smoke_sweep(testbed)
+    warm_s = time.perf_counter() - start
+    return points, cold_s, warm_s
+
+
+def check_regression(recorded_path: str, cold_s: float) -> int:
+    """Exit status: 1 when the cold smoke sweep regressed past tolerance."""
+    tolerance = float(os.environ.get("BENCH_CHECK_TOLERANCE", "0.25"))
+    try:
+        with open(recorded_path) as handle:
+            recorded = json.load(handle)
+        baseline = float(recorded["smoke_sweep"]["cold_s"])
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bench check skipped: no usable baseline in "
+              f"{recorded_path} ({exc})")
+        return 0
+    limit = baseline * (1.0 + tolerance)
+    verdict = "OK" if cold_s <= limit else "REGRESSED"
+    print(f"bench check: cold smoke sweep {cold_s:.4f} s vs recorded "
+          f"{baseline:.4f} s (limit {limit:.4f} s, "
+          f"tolerance {tolerance:.0%}) -> {verdict}")
+    return 0 if cold_s <= limit else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=os.path.join(REPO_ROOT,
@@ -108,19 +215,23 @@ def main(argv=None) -> int:
     parser.add_argument("--no-suite", action="store_true",
                         help="skip timing the full pytest-benchmark "
                              "suite (smoke sweep + DES only)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare the cold smoke sweep against the "
+                             "recorded --out file and exit 1 on a "
+                             ">BENCH_CHECK_TOLERANCE regression; does "
+                             "not rewrite the file")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="cold-sweep repetitions, best-of (default: "
+                             "1, or 3 with --check)")
     args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (3 if args.check else 1)
 
     testbed = paper_testbed()
     configure_result_cache(enabled=True, disk_dir=None)
 
-    clear_all()
-    start = time.perf_counter()
-    points = smoke_sweep(testbed)
-    cold_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    smoke_sweep(testbed)
-    warm_s = time.perf_counter() - start
+    points, cold_s, warm_s = timed_smoke(testbed, reps=reps)
+    if args.check:
+        return check_regression(args.out, cold_s)
 
     caches = {
         cache.name: {
@@ -142,6 +253,7 @@ def main(argv=None) -> int:
             "warm_speedup": round(cold_s / warm_s, 1) if warm_s else None,
             "caches": caches,
         },
+        "vector_sweep": vector_sweep(testbed),
         "des": des_microbench(),
     }
 

@@ -108,6 +108,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=0,
                    help="evaluate sweep points on N worker processes "
                         "(0/1 = in-process; results are identical)")
+    p.add_argument("--engine", choices=["scalar", "vector", "auto"],
+                   default="auto",
+                   help="solver backend: 'vector' batches the whole grid "
+                        "through the numpy demand tensor, 'scalar' solves "
+                        "per point, 'auto' (default) picks vector when "
+                        "numpy is installed")
+    p.add_argument("--profile", action="store_true",
+                   help="append a per-stage wall-time breakdown "
+                        "(grid build / demand assembly / solve / aggregate)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the content-keyed solver result cache")
     p.add_argument("--disk-cache", metavar="DIR", default=None,
@@ -219,15 +228,19 @@ def _cmd_compare(args) -> str:
 
 
 def _cmd_sweep(args) -> str:
-    from repro.core.sweeps import SweepRunner
+    from repro.core.sweeps import StageTimings, SweepRunner
     from repro.core.throughput import configure_result_cache
 
     configure_result_cache(enabled=not args.no_cache,
                            disk_dir=args.disk_cache)
     testbed = paper_testbed()
-    runner = SweepRunner(testbed, jobs=args.jobs)
+    timings = StageTimings() if args.profile else None
+    runner = SweepRunner(testbed, jobs=args.jobs, engine=args.engine,
+                         timings=timings)
     tp = ThroughputBench(testbed, runner)
     out = _run_sweep(args, testbed, tp, runner)
+    if args.profile:
+        out += "\n\nsweep stage profile\n" + timings.report()
     if args.cache_stats:
         from repro.telemetry import perf_report
         out += "\n\n" + perf_report()

@@ -22,6 +22,13 @@ from repro.core.throughput import (
     SolverResult,
     ThroughputSolver,
 )
+from repro.core.batch import (
+    BatchSolver,
+    DemandTensor,
+    ResourceRegistry,
+    numpy_available,
+)
+from repro.core.sweeps import StageTimings, SweepRunner
 from repro.core.latency import LatencyModel, LatencyBreakdown
 from repro.core.flows import FlowPattern, ConcurrencyAnalyzer
 from repro.core.anomalies import (
@@ -54,6 +61,12 @@ __all__ = [
     "Scenario",
     "SolverResult",
     "ThroughputSolver",
+    "BatchSolver",
+    "DemandTensor",
+    "ResourceRegistry",
+    "numpy_available",
+    "StageTimings",
+    "SweepRunner",
     "LatencyModel",
     "LatencyBreakdown",
     "FlowPattern",

@@ -79,12 +79,14 @@ class LatencyBench:
     def payload_sweep(self, path: CommPath, op: Opcode,
                       payloads: Sequence[int]) -> Sweep:
         """End-to-end latency (us) versus payload."""
-        breakdowns = self.runner.latencies(
-            [(path, op, payload, 10 * GB) for payload in payloads])
-        points = [
-            (payload, Measurement(
-                f"{path.label} {op.value}", breakdown.total_us, "us"))
-            for payload, breakdown in zip(payloads, breakdowns)]
+        with self.runner.stage("grid_build"):
+            grid = [(path, op, payload, 10 * GB) for payload in payloads]
+        breakdowns = self.runner.latencies(grid)
+        with self.runner.stage("aggregate"):
+            points = [
+                (payload, Measurement(
+                    f"{path.label} {op.value}", breakdown.total_us, "us"))
+                for payload, breakdown in zip(payloads, breakdowns)]
         return Sweep("payload", "bytes", points)
 
     def simulate_dma_latency(self, path: CommPath, op: Opcode,
@@ -147,13 +149,15 @@ class ThroughputBench:
             unit, value_of = "Gbps", SolverResult.gbps_of
         else:
             raise ValueError(f"unknown metric: {metric!r}")
-        results = self._peaks([Flow(path=path, op=op, payload=payload,
-                                    requesters=requesters)
-                               for payload in payloads])
-        points = [
-            (payload, Measurement(
-                f"{path.label} {op.value}", value_of(result, 0), unit))
-            for payload, result in zip(payloads, results)]
+        with self.runner.stage("grid_build"):
+            grid = [Flow(path=path, op=op, payload=payload,
+                         requesters=requesters) for payload in payloads]
+        results = self._peaks(grid)
+        with self.runner.stage("aggregate"):
+            points = [
+                (payload, Measurement(
+                    f"{path.label} {op.value}", value_of(result, 0), unit))
+                for payload, result in zip(payloads, results)]
         return Sweep("payload", "bytes", points)
 
     def pps_sweep(self, path: CommPath, op: Opcode,
@@ -167,57 +171,68 @@ class ThroughputBench:
         """
         if scope not in ("nic", "fabric"):
             raise ValueError(f"unknown scope: {scope!r}")
-        results = self._peaks([Flow(path=path, op=op, payload=payload,
-                                    requesters=requesters)
-                               for payload in payloads])
-        points = []
-        for payload, result in zip(payloads, results):
-            counts = self.packets.counts(path, op, payload)
-            if scope == "nic":
-                tlps = (counts.pcie0_total if path is CommPath.RNIC1
-                        else counts.pcie1_total)
-            else:
-                tlps = counts.total
-            mpps = result.rate_of(0) * tlps * 1e3
-            points.append((payload, Measurement(
-                f"{path.label} {op.value} PCIe pps", mpps, "Mpps")))
+        with self.runner.stage("grid_build"):
+            grid = [Flow(path=path, op=op, payload=payload,
+                         requesters=requesters) for payload in payloads]
+        results = self._peaks(grid)
+        with self.runner.stage("aggregate"):
+            points = []
+            for payload, result in zip(payloads, results):
+                counts = self.packets.counts(path, op, payload)
+                if scope == "nic":
+                    tlps = (counts.pcie0_total if path is CommPath.RNIC1
+                            else counts.pcie1_total)
+                else:
+                    tlps = counts.total
+                mpps = result.rate_of(0) * tlps * 1e3
+                points.append((payload, Measurement(
+                    f"{path.label} {op.value} PCIe pps", mpps, "Mpps")))
         return Sweep("payload", "bytes", points)
 
     def range_sweep(self, path: CommPath, op: Opcode, payload: int,
                     ranges: Sequence[float], requesters: int = 11) -> Sweep:
         """Peak request rate versus responder address range (Fig 7)."""
-        results = self._peaks([Flow(path=path, op=op, payload=payload,
-                                    requesters=requesters,
-                                    range_bytes=range_bytes)
-                               for range_bytes in ranges])
-        points = [
-            (range_bytes, Measurement(
-                f"{path.label} {op.value}", result.mrps_of(0), "Mreqs/s"))
-            for range_bytes, result in zip(ranges, results)]
+        with self.runner.stage("grid_build"):
+            grid = [Flow(path=path, op=op, payload=payload,
+                         requesters=requesters, range_bytes=range_bytes)
+                    for range_bytes in ranges]
+        results = self._peaks(grid)
+        with self.runner.stage("aggregate"):
+            points = [
+                (range_bytes, Measurement(
+                    f"{path.label} {op.value}", result.mrps_of(0),
+                    "Mreqs/s"))
+                for range_bytes, result in zip(ranges, results)]
         return Sweep("range", "bytes", points)
 
     def requester_sweep(self, path: CommPath, op: Opcode, payload: int,
                         machine_counts: Sequence[int]) -> Sweep:
         """Peak rate versus number of requester machines (Fig 11)."""
-        results = self._peaks([Flow(path=path, op=op, payload=payload,
-                                    requesters=machines)
-                               for machines in machine_counts])
-        points = [
-            (machines, Measurement(
-                f"{path.label} {op.value}", result.mrps_of(0), "Mreqs/s"))
-            for machines, result in zip(machine_counts, results)]
+        with self.runner.stage("grid_build"):
+            grid = [Flow(path=path, op=op, payload=payload,
+                         requesters=machines)
+                    for machines in machine_counts]
+        results = self._peaks(grid)
+        with self.runner.stage("aggregate"):
+            points = [
+                (machines, Measurement(
+                    f"{path.label} {op.value}", result.mrps_of(0),
+                    "Mreqs/s"))
+                for machines, result in zip(machine_counts, results)]
         return Sweep("machines", "count", points)
 
     def doorbell_sweep(self, path: CommPath, op: Opcode, payload: int,
                        batches: Sequence[int], requesters: int = 24) -> Sweep:
         """Throughput versus doorbell batch size (Fig 10b)."""
-        results = self._peaks([Flow(path=path, op=op, payload=payload,
-                                    requesters=requesters,
-                                    doorbell_batch=batch)
-                               for batch in batches])
-        points = [
-            (batch, Measurement(
-                f"{path.label} {op.value} DB={batch}",
-                result.mrps_of(0), "Mreqs/s"))
-            for batch, result in zip(batches, results)]
+        with self.runner.stage("grid_build"):
+            grid = [Flow(path=path, op=op, payload=payload,
+                         requesters=requesters, doorbell_batch=batch)
+                    for batch in batches]
+        results = self._peaks(grid)
+        with self.runner.stage("aggregate"):
+            points = [
+                (batch, Measurement(
+                    f"{path.label} {op.value} DB={batch}",
+                    result.mrps_of(0), "Mreqs/s"))
+                for batch, result in zip(batches, results)]
         return Sweep("batch", "count", points)

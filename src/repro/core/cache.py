@@ -31,6 +31,7 @@ import json
 import os
 import weakref
 from collections import OrderedDict
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Every cache created with ``register=True`` reports into
@@ -41,6 +42,12 @@ _REGISTRY: "List[LRUCache]" = []
 # ---------------------------------------------------------------------------
 # Fingerprinting
 # ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _field_names(cls: type) -> Tuple[str, ...]:
+    """Dataclass field names, resolved once per type (hot path)."""
+    return tuple(f.name for f in dataclasses.fields(cls))
 
 
 def fingerprint(obj: Any) -> Any:
@@ -57,9 +64,9 @@ def fingerprint(obj: Any) -> Any:
     if isinstance(obj, enum.Enum):
         return (type(obj).__name__, obj.value)
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return (type(obj).__name__,) + tuple(
-            fingerprint(getattr(obj, f.name))
-            for f in dataclasses.fields(obj))
+        cls = type(obj)
+        return (cls.__name__,) + tuple(
+            fingerprint(getattr(obj, name)) for name in _field_names(cls))
     if isinstance(obj, (list, tuple)):
         return tuple(fingerprint(item) for item in obj)
     if isinstance(obj, dict):
@@ -73,19 +80,57 @@ def fingerprint(obj: Any) -> Any:
     raise TypeError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")
 
 
+class _Interned:
+    """A fingerprint wrapper whose hash is computed once.
+
+    Testbed fingerprints are deep tuples with hundreds of atoms;
+    hashing one costs microseconds and every cache get re-hashes the
+    key.  Wrapping the tuple caches the hash while keeping equality
+    and ``repr`` (the disk-digest input) identical to the raw value.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: Any):
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: Any) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, _Interned):
+            return self.value == other.value
+        return self.value == other
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def __getstate__(self):
+        # Never ship the cached hash across processes: string hashes
+        # are salted per interpreter (PYTHONHASHSEED).
+        return self.value
+
+    def __setstate__(self, value) -> None:
+        self.value = value
+        self._hash = hash(value)
+
+
 _TESTBED_FPS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def testbed_fingerprint(testbed: Any) -> Any:
-    """Fingerprint of a testbed, memoized per live object."""
+    """Fingerprint of a testbed, memoized (with its hash) per object."""
     try:
         return _TESTBED_FPS[testbed]
     except KeyError:
-        fp = fingerprint(testbed)
+        fp = _Interned(fingerprint(testbed))
         _TESTBED_FPS[testbed] = fp
         return fp
     except TypeError:  # unhashable / non-weakref-able: compute directly
-        return fingerprint(testbed)
+        return _Interned(fingerprint(testbed))
 
 
 # ---------------------------------------------------------------------------
@@ -93,17 +138,48 @@ def testbed_fingerprint(testbed: Any) -> Any:
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass(frozen=True)
+#: Flow objects are frozen dataclasses (hashable by content), so their
+#: fingerprints memoize directly — wide sweeps reuse a handful of flow
+#: shapes thousands of times.  Bounded by periodic reset, not LRU: the
+#: working set per sweep is tiny and eviction bookkeeping would cost
+#: more than it saves.
+_FLOW_FPS: Dict[Any, Any] = {}
+_FLOW_FPS_LIMIT = 1 << 16
+
+
+def _flow_fingerprint(flow: Any) -> Any:
+    try:
+        fp = _FLOW_FPS.get(flow)
+    except TypeError:  # unhashable flow-like object
+        return fingerprint(flow)
+    if fp is None:
+        fp = fingerprint(flow)
+        if len(_FLOW_FPS) >= _FLOW_FPS_LIMIT:
+            _FLOW_FPS.clear()
+        _FLOW_FPS[flow] = fp
+    return fp
+
+
+@dataclasses.dataclass(frozen=True, eq=True)
 class ScenarioKey:
     """Cache key for one solver invocation: testbed content + flows."""
 
     testbed: Any
     flows: Tuple[Any, ...]
 
+    def __hash__(self) -> int:
+        # Cache the deep-tuple hash: every cache get/put rehashes the
+        # key, and CPython does not memoize tuple hashes.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.testbed, self.flows))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @classmethod
     def of(cls, testbed: Any, flows) -> "ScenarioKey":
         return cls(testbed=testbed_fingerprint(testbed),
-                   flows=tuple(fingerprint(flow) for flow in flows))
+                   flows=tuple(_flow_fingerprint(flow) for flow in flows))
 
     @property
     def digest(self) -> str:
@@ -157,6 +233,18 @@ class LRUCache:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+
+    def absorb(self, hits: int = 0, misses: int = 0,
+               disk_hits: int = 0) -> None:
+        """Fold counter deltas from another process into this cache.
+
+        Sweep worker processes each hold their own cache instances;
+        the parent adds their per-chunk hit/miss deltas here so
+        ``--cache-stats`` reflects work done anywhere.  ``disk_hits``
+        is accepted (and ignored) for cache types without a disk layer.
+        """
+        self.hits += hits
+        self.misses += misses
 
     @property
     def hit_rate(self) -> float:
@@ -235,6 +323,11 @@ class SolverCache(LRUCache):
                 os.replace(tmp, path)
             except OSError:
                 pass  # disk layer is best-effort
+
+    def absorb(self, hits: int = 0, misses: int = 0,
+               disk_hits: int = 0) -> None:
+        super().absorb(hits, misses)
+        self.disk_hits += disk_hits
 
     def counters(self) -> Dict[str, float]:
         out = super().counters()

@@ -134,6 +134,48 @@ class Scenario:
             self._demands = self._build_all()
         return self._demands
 
+    @classmethod
+    def solve_batch(cls, testbed: Testbed, flow_sets: Sequence,
+                    engine: str = "auto", use_cache: bool = True,
+                    timings=None) -> List["SolverResult"]:
+        """Solve many scenarios at once, one :class:`SolverResult` each.
+
+        ``flow_sets`` is a sequence of flow lists (or prebuilt
+        scenarios).  ``engine`` selects the implementation:
+
+        * ``"vector"`` — the numpy demand-tensor engine
+          (:mod:`repro.core.batch`); raises ``ValueError`` when numpy
+          is not installed,
+        * ``"scalar"`` — the per-point reference solver,
+        * ``"auto"`` — vector when numpy is importable, else scalar.
+
+        Both engines share :data:`RESULT_CACHE` and agree on every
+        solved rate, so the choice only affects wall-time.
+        """
+        from repro.core import batch
+
+        if engine not in ("scalar", "vector", "auto"):
+            raise ValueError(f"unknown engine: {engine!r}")
+        if engine == "auto":
+            engine = "vector" if batch.numpy_available() else "scalar"
+        if engine == "vector":
+            return batch.BatchSolver().solve(testbed, flow_sets,
+                                             use_cache=use_cache,
+                                             timings=timings)
+        import time as _time
+        from contextlib import nullcontext
+        solver = ThroughputSolver()
+        scenarios = [flows if isinstance(flows, cls)
+                     else cls(testbed, list(flows)) for flows in flow_sets]
+        start = _time.perf_counter()
+        with (timings.stage("solve") if timings is not None
+              else nullcontext()):
+            results = [solver.solve(s, use_cache=use_cache)
+                       for s in scenarios]
+        batch.ENGINE_STATS.record("scalar", len(scenarios),
+                                  _time.perf_counter() - start)
+        return results
+
     # -- demand construction ------------------------------------------------------
 
     def _build_all(self) -> List[Dict[str, float]]:

@@ -161,8 +161,11 @@ FIG8_PAYLOADS = [64 * KB, 256 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB]
 
 
 def _serial_and_parallel(testbed):
-    serial = SweepRunner(testbed, jobs=0)
-    parallel = SweepRunner(testbed, jobs=2, chunk_size=2)
+    # engine="scalar" pins these tests to the process-pool path: with
+    # numpy installed the auto engine would solve the batch in-process
+    # and never exercise the pool.
+    serial = SweepRunner(testbed, jobs=0, engine="scalar")
+    parallel = SweepRunner(testbed, jobs=2, chunk_size=2, engine="scalar")
     assert not serial.parallel and parallel.parallel
     return serial, parallel
 
@@ -206,6 +209,29 @@ def test_parallel_results_fold_back_into_parent_cache(testbed):
         cached = RESULT_CACHE.get(Scenario(testbed, [flow]).key)
         assert cached is not None
         assert_results_identical(cached, result)
+
+
+def test_parallel_sweep_absorbs_worker_cache_counters(testbed):
+    # Worker processes do the solving, so their cache misses would be
+    # invisible to the parent unless folded back.
+    _, parallel = _serial_and_parallel(testbed)
+    flows = [Flow(path=CommPath.SNIC2, op=Opcode.WRITE, payload=p,
+                  requesters=11) for p in FIG4_PAYLOADS]
+    before = RESULT_CACHE.misses
+    parallel.solve_flows(flows)
+    assert RESULT_CACHE.misses - before >= len(flows)
+
+
+def test_lru_absorb_adds_foreign_counters():
+    from repro.core.cache import LRUCache, SolverCache
+
+    cache = LRUCache(name="absorb-test", register=False)
+    cache.absorb(hits=3, misses=2, disk_hits=7)   # disk_hits ignored
+    assert (cache.hits, cache.misses) == (3, 2)
+
+    solver_cache = SolverCache(name="absorb-disk-test", register=False)
+    solver_cache.absorb(hits=1, misses=1, disk_hits=4)
+    assert solver_cache.disk_hits == 4
 
 
 def test_small_batch_stays_serial(testbed):

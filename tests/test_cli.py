@@ -63,6 +63,20 @@ def test_sweep_commands(capsys, figure):
     assert "Fig" in out
 
 
+@pytest.mark.parametrize("engine", ["scalar", "auto"])
+def test_sweep_engine_flag(capsys, engine):
+    code, out, _ = run(capsys, "sweep", "fig4", "--engine", engine)
+    assert code == 0
+    assert "Fig" in out
+
+
+def test_sweep_profile_flag(capsys):
+    code, out, _ = run(capsys, "sweep", "fig4", "--profile")
+    assert code == 0
+    assert "sweep stage profile" in out
+    assert "grid_build" in out and "solve" in out
+
+
 def test_compare_command(capsys):
     code, out, _ = run(capsys, "compare")
     assert code == 0
