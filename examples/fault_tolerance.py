@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fault injection, RC reliability, and graceful degradation.
+
+Two demonstrations on the simulated testbed:
+
+1. **Loss is absorbed by the transport.**  The same RC WRITE stream
+   runs fault-free and under 2 % packet loss; retransmissions show up
+   in the telemetry counters but the remote memory ends up identical —
+   the application never notices.
+
+2. **A SoC crash degrades, not breaks.**  A replicated KV store loses
+   server 0's SoC mid-run; the shipper fails over from the offloaded
+   path ③ pull to a host-side relay and replication keeps going in
+   degraded mode.
+
+Both runs are fully deterministic (seeded fault plans on a DES).
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import paper_testbed
+from repro.apps import ReplicatedKV
+from repro.faults import FaultPlan, SocCrash
+from repro.net.cluster import SimCluster
+from repro.rdma import RdmaContext
+
+ENTRIES = 100
+SLOT = 64
+
+
+def write_stream(loss_rate):
+    """Run an RC WRITE stream under ``loss_rate``; return (memory, stats)."""
+    cluster = SimCluster(paper_testbed(), n_clients=1)
+    plan = FaultPlan.packet_loss("net.client0", loss_rate, seed=11)
+    cluster.install_faults(plan)
+    ctx = RdmaContext(cluster)
+    local = ctx.reg_mr("client0", SLOT)
+    remote = ctx.reg_mr("host", ENTRIES * SLOT)
+    qp, _ = ctx.connect_rc("client0", "host")
+
+    def driver():
+        for i in range(ENTRIES):
+            local.write_local(0, f"entry-{i:03d}".encode().ljust(SLOT, b"."))
+            yield qp.post_write(i, local, remote, SLOT,
+                                remote_offset=i * SLOT)
+
+    cluster.sim.process(driver())
+    cluster.sim.run()
+    return remote.read_local(0, ENTRIES * SLOT), dict(cluster.stats)
+
+
+def crash_failover():
+    """Replicate through a mid-run SoC crash; return the store."""
+    cluster = SimCluster(paper_testbed(), n_servers=2)
+    plan = FaultPlan(faults=(SocCrash(server="server0", at=500_000),))
+    cluster.install_faults(plan)
+    ctx = RdmaContext(cluster)
+    kv = ReplicatedKV(ctx, budget_gbps=0.5)
+    for i in range(80):
+        kv.put(f"user:{i}".encode(), f"value-{i:02d}".encode() * 93)
+    settle = cluster.sim.process(kv.wait_replicated())
+    cluster.sim.run()
+    assert settle.ok
+    return kv
+
+
+def main() -> None:
+    clean_mem, clean_stats = write_stream(0.0)
+    lossy_mem, lossy_stats = write_stream(0.02)
+    print(f"RC WRITE x{ENTRIES}, fault-free : "
+          f"{clean_stats.get('rdma.retransmits', 0):.0f} retransmits, "
+          f"{clean_stats.get('faults.injected', 0):.0f} faults injected")
+    print(f"RC WRITE x{ENTRIES}, 2% loss    : "
+          f"{lossy_stats.get('rdma.retransmits', 0):.0f} retransmits, "
+          f"{lossy_stats.get('faults.injected', 0):.0f} faults injected")
+    same = "identical" if clean_mem == lossy_mem else "DIVERGED"
+    print(f"final remote memory           : {same}")
+    print()
+
+    kv = crash_failover()
+    # The replica must agree with the primary on every key (both stores
+    # share the fixed-bucket eviction behavior, so equality is the
+    # invariant replication has to preserve).
+    diverged = sum(
+        1 for i in range(80)
+        if kv.replica.get_local(f"user:{i}".encode())
+        != kv.primary.get_local(f"user:{i}".encode()))
+    print("SoC crash at t=500us mid-replication:")
+    print(f"  failovers         : {kv.stats.failovers}")
+    print(f"  applied           : {kv.stats.applied}/80, "
+          f"{diverged} keys diverged from the primary")
+    print(f"  degraded entries  : {len(kv.stats.degraded_lag)} "
+          f"replicated after failover")
+    print(f"  healthy lag mean  : {kv.stats.lag.mean / 1000:.1f} us")
+    print(f"  degraded lag mean : "
+          f"{kv.stats.degraded_lag.mean / 1000:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

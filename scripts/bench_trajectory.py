@@ -33,6 +33,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.core.batch import BatchSolver, numpy_available    # noqa: E402
 from repro.core.bench import LatencyBench, ThroughputBench   # noqa: E402
+from repro.faults.bench import faulted_sweep                 # noqa: E402
 from repro.core.cache import clear_all, registered_caches    # noqa: E402
 from repro.core.paths import CommPath, Opcode                # noqa: E402
 from repro.core.sweeps import SweepRunner                    # noqa: E402
@@ -255,6 +256,9 @@ def main(argv=None) -> int:
         },
         "vector_sweep": vector_sweep(testbed),
         "des": des_microbench(),
+        # Goodput under injected packet loss (DES + RC retransmission);
+        # the 0.0 row doubles as the pay-as-you-go reference.
+        "faulted_sweep": faulted_sweep(rates=(0.0, 0.001, 0.01)),
     }
 
     if not args.no_suite:

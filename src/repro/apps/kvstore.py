@@ -21,9 +21,11 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
+from repro.rdma.cq import Completion
 from repro.rdma.mr import MemoryRegion
-from repro.rdma.qp import QPType, QueuePair
+from repro.rdma.qp import QPType
 from repro.rdma.verbs import RdmaContext
+from repro.sim.events import AnyOf
 from repro.sim.monitor import Histogram
 
 # Bucket layout: 8 B key fingerprint | 4 B value offset | 4 B value
@@ -41,6 +43,10 @@ def _fingerprint(key: bytes) -> int:
 
 class KVStoreFullError(Exception):
     """The value log or index ran out of space."""
+
+
+class KVTimeoutError(Exception):
+    """An offloaded get exhausted its retries without a reply."""
 
 
 class KVServer:
@@ -106,11 +112,18 @@ class GetStats:
     gets: int = 0
     misses: int = 0
     network_round_trips: int = 0
+    timeouts: int = 0
     latency: Histogram = field(default_factory=Histogram)
 
     @property
     def round_trips_per_get(self) -> float:
         return self.network_round_trips / self.gets if self.gets else 0.0
+
+    @property
+    def timeout_rate(self) -> float:
+        """Timed-out reply waits as a fraction of all reply waits."""
+        waits = self.gets + self.timeouts
+        return self.timeouts / waits if waits else 0.0
 
 
 class OneSidedKVClient:
@@ -165,9 +178,12 @@ class OffloadedKVClient:
 
     SERVICE_OVERHEAD_NS = 300.0  # SoC handler: parse + hash + reply post
 
-    def __init__(self, ctx: RdmaContext, client_name: str, server: KVServer):
+    def __init__(self, ctx: RdmaContext, client_name: str, server: KVServer,
+                 timeout_ns: Optional[float] = None, max_retries: int = 0):
         if ctx.cluster.node(server.node_name).kind != "soc":
             raise ValueError("offloaded store must live in SoC memory")
+        if timeout_ns is not None and timeout_ns <= 0:
+            raise ValueError(f"timeout must be positive: {timeout_ns}")
         self.ctx = ctx
         self.server = server
         self.qp = ctx.create_qp(client_name, QPType.UD)
@@ -175,22 +191,29 @@ class OffloadedKVClient:
         self.recv_mr = ctx.reg_mr(client_name, 1 << 16)
         self.server_recv_mr = ctx.reg_mr(server.node_name, 1 << 16)
         self.stats = GetStats()
+        self.timeout_ns = timeout_ns
+        self.max_retries = max_retries
+        # With retries armed, requests/replies carry a 4 B sequence id
+        # so straggler replies to timed-out attempts can be discarded.
+        self._reliable = timeout_ns is not None
         self._wr = 0
         self._start_handler()
 
     def _start_handler(self) -> None:
         sim = self.qp.sim
-        soc_cpu = self.ctx.cluster.node(self.server.node_name).cpu
 
         def handler():
             while True:
                 completion = yield self.server_qp.recv_cq.wait()
-                key = self.server_recv_mr.read_local(0, completion.byte_len)
-                src = QueuePair.by_qpn(self.server_qp.inbound_sources.popleft())
+                request = self.server_recv_mr.read_local(0, completion.byte_len)
+                src = self.ctx.cluster.qp_by_qpn(
+                    self.server_qp.inbound_sources.popleft())
+                seq, key = (request[:4], request[4:]) if self._reliable \
+                    else (b"", request)
                 # Local lookup on the SoC cores.
                 yield sim.timeout(self.SERVICE_OVERHEAD_NS)
                 value = self.server.get_local(key)
-                reply = b"\x00" if value is None else b"\x01" + value
+                reply = seq + (b"\x00" if value is None else b"\x01" + value)
                 self.server_qp.post_recv(0, self.server_recv_mr)
                 yield self.server_qp.post_send(0, reply, dest=src,
                                                signaled=False)
@@ -204,14 +227,45 @@ class OffloadedKVClient:
         start = sim.now
         self._wr += 1
         self.qp.post_recv(self._wr, self.recv_mr)
-        yield self.qp.post_send(self._wr, key, dest=self.server_qp,
-                                signaled=False)
-        completion = yield self.qp.recv_cq.wait()
+        if self._reliable:
+            payload = yield from self._get_with_retries(sim, key)
+        else:
+            yield self.qp.post_send(self._wr, key, dest=self.server_qp,
+                                    signaled=False)
+            completion = yield self.qp.recv_cq.wait()
+            payload = self.recv_mr.read_local(0, completion.byte_len)
         self.stats.gets += 1
         self.stats.network_round_trips += 1
         self.stats.latency.record(sim.now - start)
-        payload = self.recv_mr.read_local(0, completion.byte_len)
         if payload[:1] == b"\x00":
             self.stats.misses += 1
             return None
         return payload[1:]
+
+    def _get_with_retries(self, sim, key: bytes):
+        seq = struct.pack("<I", self._wr & 0xFFFFFFFF)
+        message = seq + key
+        timeout = self.timeout_ns
+        cap = self.timeout_ns * 8
+        resends_left = self.max_retries
+        while True:
+            yield self.qp.post_send(self._wr, message, dest=self.server_qp,
+                                    signaled=False)
+            while True:
+                waiter = self.qp.recv_cq.wait()
+                got = yield AnyOf(sim, [waiter, sim.timeout(timeout)])
+                if isinstance(got, Completion):
+                    reply = self.recv_mr.read_local(0, got.byte_len)
+                    if reply[:4] == seq:
+                        return reply[4:]
+                    continue  # straggler from a timed-out attempt
+                self.qp.recv_cq.cancel(waiter)
+                break
+            self.stats.timeouts += 1
+            if resends_left <= 0:
+                raise KVTimeoutError(
+                    f"get of {key!r} timed out after "
+                    f"{self.max_retries + 1} attempts")
+            resends_left -= 1
+            timeout = min(timeout * 2, cap)
+            self.qp.post_recv(self._wr, self.recv_mr)

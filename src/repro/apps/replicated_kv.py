@@ -18,11 +18,13 @@ the advice shapes.
 from __future__ import annotations
 
 import struct
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.apps.kvstore import KVServer
 from repro.apps.logship import TokenBucket
+from repro.rdma.qp import QPState, QPType
 from repro.rdma.verbs import RdmaContext
 from repro.sim.monitor import Histogram
 from repro.sim.resources import Store
@@ -32,7 +34,7 @@ _ENTRY = struct.Struct("<IIQ")  # key length, value length, put timestamp
 
 
 class ReplicationLogFullError(Exception):
-    """The primary's replication log wrapped into unshipped entries."""
+    """A single entry is larger than the whole replication log."""
 
 
 @dataclass
@@ -40,7 +42,10 @@ class ReplicationStats:
     puts: int = 0
     shipped: int = 0
     applied: int = 0
+    backpressured: int = 0   # puts parked while the log was full
+    failovers: int = 0       # shipper path-3 -> host-relay switches
     lag: Histogram = field(default_factory=Histogram)
+    degraded_lag: Histogram = field(default_factory=Histogram)
 
     @property
     def pending(self) -> int:
@@ -68,6 +73,9 @@ class ReplicatedKV:
         self._log_head = 0
         self._pending: Store = Store(self.sim)
         self._unshipped_bytes = 0
+        # Puts parked while the log is full of unshipped entries; the
+        # shipper drains them as space frees (backpressure, not errors).
+        self._backlog = deque()
 
         # Shipper: server 0's SoC pulls entries over path 3 (budgeted)
         # and relays them to the peer SoC over the fabric.
@@ -75,6 +83,10 @@ class ReplicatedKV:
         self._path3_qp, _ = ctx.connect_rc("soc", "host")
         self._relay_qp, self._applier_qp = ctx.connect_rc("soc", "soc1")
         self._applier_mr = ctx.reg_mr("soc1", 64 << 10)
+        # Which QP the shipper posts replica-side receives on; swapped
+        # by a failover together with _relay_qp.
+        self._rx_qp = self._applier_qp
+        self.degraded = False
         self._bucket = (None if budget_gbps is None
                         else TokenBucket(gbps(budget_gbps), burst=8 << 10))
         self.sim.process(self._shipper())
@@ -83,20 +95,74 @@ class ReplicatedKV:
     # -- primary-side operations ----------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
-        """Apply a put on the primary and queue it for replication."""
-        entry = _ENTRY.pack(len(key), len(value), int(self.sim.now)) + key + value
+        """Apply a put on the primary and queue it for replication.
+
+        When the log would wrap into unshipped entries the put is
+        parked in a backlog (backpressure) and committed by the shipper
+        once space frees; only an entry larger than the whole log is an
+        error.
+        """
+        entry_len = _ENTRY.size + len(key) + len(value)
+        if entry_len > self.log.length:
+            raise ReplicationLogFullError(
+                f"entry of {entry_len} B exceeds the {self.log.length} B log")
+        self.stats.puts += 1
+        if self._backlog or (self._log_head + entry_len > self.log.length
+                             and self._unshipped_bytes > 0):
+            self._backlog.append((key, value, self.sim.now))
+            self.stats.backpressured += 1
+            return
+        self._commit(key, value, self.sim.now)
+
+    def _commit(self, key: bytes, value: bytes, at: float) -> None:
+        """Write a put into the log and hand it to the shipper."""
+        entry = _ENTRY.pack(len(key), len(value), int(at)) + key + value
         if self._log_head + len(entry) > self.log.length:
-            if self._unshipped_bytes > 0:
-                raise ReplicationLogFullError(
-                    "log wrapped while entries were still unshipped")
             self._log_head = 0
         self.primary.put(key, value)
         offset = self._log_head
         self.log.write_local(offset, entry)
         self._log_head += len(entry)
         self._unshipped_bytes += len(entry)
-        self.stats.puts += 1
-        self._pending.put((offset, len(entry), self.sim.now))
+        self._pending.put((offset, len(entry), at))
+
+    def _drain_backlog(self) -> None:
+        """Commit parked puts into the (now fully shipped) log."""
+        self._log_head = 0
+        while self._backlog:
+            key, value, at = self._backlog[0]
+            entry_len = _ENTRY.size + len(key) + len(value)
+            if self._log_head + entry_len > self.log.length:
+                break  # the rest waits for the next drain
+            self._backlog.popleft()
+            self._commit(key, value, at)
+
+    # -- failover ----------------------------------------------------------------------
+
+    def _fail_over(self) -> None:
+        """Swap the shipper's relay from the dead SoC to the host.
+
+        Degraded mode: the host CPU reads its own log (path ①-style
+        service instead of the offloaded path ③) and relays to the peer
+        SoC from the host NIC.  The replacement receive QP shares the
+        applier's CQ, so the applier keeps draining without restarting.
+        """
+        if self.degraded:
+            return
+        self.degraded = True
+        self.stats.failovers += 1
+        self.ctx.cluster.bump("replicated_kv.failovers")
+        host_qp = self.ctx.create_qp("host", QPType.RC)
+        rx_qp = self.ctx.create_qp("soc1", QPType.RC,
+                                   recv_cq=self._applier_qp.recv_cq)
+        host_qp.connect(rx_qp)
+        self._relay_qp = host_qp
+        self._rx_qp = rx_qp
+
+    def _host_read_ns(self, length: int) -> float:
+        """Path ①-style host service for one entry in degraded mode."""
+        host = self.ctx.cluster.node("host")
+        return host.cpu.two_sided_latency_ns + length / gbps(100.0)
 
     # -- pipeline processes -------------------------------------------------------------
 
@@ -104,25 +170,42 @@ class ReplicatedKV:
         wr = 0
         while True:
             offset, length, _put_at = yield self._pending.get()
-            if self._bucket is not None:
+            if self._bucket is not None and not self.degraded:
                 delay = self._bucket.delay_for(length, self.sim.now)
                 if delay > 0:
                     yield self.sim.timeout(delay)
             wr += 1
-            # Path 3: pull the entry from host memory into SoC staging.
-            yield self._path3_qp.post_read(wr, self._staging, self.log,
-                                           length, local_offset=0,
-                                           remote_offset=offset)
+            if not self.degraded:
+                # Path 3: pull the entry from host memory into staging.
+                yield self._path3_qp.post_read(wr, self._staging, self.log,
+                                               length, local_offset=0,
+                                               remote_offset=offset)
+                if self._path3_qp.state is QPState.ERROR:
+                    # The SoC died under us (or retries exhausted).
+                    self._fail_over()
+            if self.degraded:
+                # Host-side read of its own log: CPU service, no PCIe 3.
+                yield self.sim.timeout(self._host_read_ns(length))
+                payload = self.log.read_local(offset, length)
+            else:
+                payload = self._staging.read_local(0, length)
             self._unshipped_bytes -= length
-            payload = self._staging.read_local(0, length)
             self.stats.shipped += 1
+            if self._unshipped_bytes == 0 and self._backlog:
+                self._drain_backlog()
             # Fabric: relay to the peer SoC.
-            self._applier_qp.post_recv(wr, self._applier_mr)
+            self._rx_qp.post_recv(wr, self._applier_mr)
             yield self._relay_qp.post_send(wr, payload, signaled=False)
+            if self._relay_qp.state is QPState.ERROR:
+                # Crashed between read and relay: switch and resend.
+                self._fail_over()
+                self._rx_qp.post_recv(wr, self._applier_mr)
+                yield self._relay_qp.post_send(wr, payload, signaled=False)
 
     def _applier(self) -> Generator:
+        recv_cq = self._applier_qp.recv_cq
         while True:
-            completion = yield self._applier_qp.recv_cq.wait()
+            completion = yield recv_cq.wait()
             raw = self._applier_mr.read_local(0, completion.byte_len)
             key_len, value_len, put_at = _ENTRY.unpack(raw[:_ENTRY.size])
             body = raw[_ENTRY.size:]
@@ -131,6 +214,8 @@ class ReplicatedKV:
             self.replica.put(key, value)
             self.stats.applied += 1
             self.stats.lag.record(self.sim.now - put_at)
+            if self.degraded:
+                self.stats.degraded_lag.record(self.sim.now - put_at)
 
     # -- convenience --------------------------------------------------------------------
 

@@ -4,6 +4,11 @@ The server posts receive buffers, serves each inbound message after a
 CPU service time, and replies to the sender.  The client issues
 request-response calls and records latency — the echo microbenchmark of
 the paper's two-sided rows.
+
+UD is unreliable: under a fault injector, requests and replies can be
+lost.  A client constructed with ``timeout_ns`` retries each call with a
+capped exponential backoff (up to ``max_retries`` resends) and counts
+timeouts; without it the original zero-overhead path runs unchanged.
 """
 
 from __future__ import annotations
@@ -12,18 +17,31 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
-from repro.rdma.qp import QPType, QueuePair
+from repro.rdma.cq import Completion
+from repro.rdma.qp import QPType
 from repro.rdma.verbs import RdmaContext
+from repro.sim.events import AnyOf
 from repro.sim.monitor import Histogram
 
 _HEADER = struct.Struct("<I")  # request id
+
+
+class RpcTimeoutError(Exception):
+    """An RPC exhausted its retries without seeing a reply."""
 
 
 @dataclass
 class RpcStats:
     served: int = 0
     calls: int = 0
+    timeouts: int = 0
     latency: Histogram = field(default_factory=Histogram)
+
+    @property
+    def timeout_rate(self) -> float:
+        """Timed-out attempts as a fraction of all reply waits."""
+        waits = self.calls + self.timeouts
+        return self.timeouts / waits if waits else 0.0
 
 
 class RpcServer:
@@ -53,7 +71,8 @@ class RpcServer:
         while True:
             completion = yield self.qp.recv_cq.wait()
             request = self.mr.read_local(0, completion.byte_len)
-            source = QueuePair.by_qpn(self.qp.inbound_sources.popleft())
+            source = self.ctx.cluster.qp_by_qpn(
+                self.qp.inbound_sources.popleft())
             yield sim.timeout(self._service_ns)
             header, body = request[:_HEADER.size], request[_HEADER.size:]
             response = header + self.handler(body)
@@ -63,15 +82,29 @@ class RpcServer:
 
 
 class RpcClient:
-    """Issues request-response calls against an :class:`RpcServer`."""
+    """Issues request-response calls against an :class:`RpcServer`.
+
+    ``timeout_ns`` arms the retry machinery: a call that sees no reply
+    within the (exponentially growing, 8x-capped) timeout is resent up
+    to ``max_retries`` times before :class:`RpcTimeoutError`.  With the
+    default ``timeout_ns=None`` the client is the original lossless-path
+    implementation with no extra simulation events.
+    """
 
     def __init__(self, ctx: RdmaContext, node_name: str, server: RpcServer,
-                 buf_bytes: int = 1 << 16):
+                 buf_bytes: int = 1 << 16,
+                 timeout_ns: Optional[float] = None, max_retries: int = 0):
+        if timeout_ns is not None and timeout_ns <= 0:
+            raise ValueError(f"timeout must be positive: {timeout_ns}")
+        if max_retries < 0:
+            raise ValueError(f"negative max_retries: {max_retries}")
         self.ctx = ctx
         self.server = server
         self.qp = ctx.create_qp(node_name, QPType.UD)
         self.mr = ctx.reg_mr(node_name, buf_bytes)
         self.stats = RpcStats()
+        self.timeout_ns = timeout_ns
+        self.max_retries = max_retries
         self._next_id = 0
 
     def call(self, payload: bytes) -> Generator:
@@ -82,14 +115,48 @@ class RpcClient:
         request_id = self._next_id
         self.qp.post_recv(request_id, self.mr)
         message = _HEADER.pack(request_id) + payload
-        yield self.qp.post_send(request_id, message, dest=self.server.qp,
-                                signaled=False)
-        completion = yield self.qp.recv_cq.wait()
-        response = self.mr.read_local(0, completion.byte_len)
-        (echoed_id,) = _HEADER.unpack(response[:_HEADER.size])
-        if echoed_id != request_id:
-            raise RuntimeError(
-                f"out-of-order RPC response: {echoed_id} != {request_id}")
+        if self.timeout_ns is None:
+            yield self.qp.post_send(request_id, message, dest=self.server.qp,
+                                    signaled=False)
+            completion = yield self.qp.recv_cq.wait()
+            response = self.mr.read_local(0, completion.byte_len)
+            (echoed_id,) = _HEADER.unpack(response[:_HEADER.size])
+            if echoed_id != request_id:
+                raise RuntimeError(
+                    f"out-of-order RPC response: {echoed_id} != {request_id}")
+        else:
+            response = yield from self._call_with_retries(
+                sim, request_id, message)
         self.stats.calls += 1
         self.stats.latency.record(sim.now - start)
         return response[_HEADER.size:]
+
+    def _call_with_retries(self, sim, request_id: int, message: bytes):
+        timeout = self.timeout_ns
+        cap = self.timeout_ns * 8
+        resends_left = self.max_retries
+        while True:
+            yield self.qp.post_send(request_id, message, dest=self.server.qp,
+                                    signaled=False)
+            while True:
+                waiter = self.qp.recv_cq.wait()
+                got = yield AnyOf(sim, [waiter, sim.timeout(timeout)])
+                if isinstance(got, Completion):
+                    response = self.mr.read_local(0, got.byte_len)
+                    (echoed_id,) = _HEADER.unpack(response[:_HEADER.size])
+                    if echoed_id == request_id:
+                        return response
+                    # A straggler reply to an earlier, timed-out attempt.
+                    continue
+                self.qp.recv_cq.cancel(waiter)
+                break
+            self.stats.timeouts += 1
+            if resends_left <= 0:
+                raise RpcTimeoutError(
+                    f"rpc {request_id} timed out after "
+                    f"{self.max_retries + 1} attempts")
+            resends_left -= 1
+            timeout = min(timeout * 2, cap)
+            # The resend needs its own reply buffer; the original may
+            # have been consumed by a straggler.
+            self.qp.post_recv(request_id, self.mr)

@@ -9,6 +9,8 @@ Commands:
 * ``compare`` — RNIC-vs-SmartNIC summary for any catalog device.
 * ``advise`` — run the offload advisor on a workload profile.
 * ``audit`` — run the anomaly detectors over flows described in JSON.
+* ``faults`` — goodput/latency of an RC verb stream under injected
+  faults (``--fault-plan FILE`` or a ``--rates`` loss sweep).
 * ``trace-gen`` / ``trace-solve`` — generate a JSONL request trace and
   solve its aggregate throughput.
 
@@ -139,6 +141,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("audit", help="anomaly audit over flows (JSON)")
     p.add_argument("flows_json",
                    help="path to a JSON list of flow objects, or '-' for stdin")
+
+    p = sub.add_parser("faults",
+                       help="goodput/latency under injected faults (DES)")
+    p.add_argument("--fault-plan", metavar="FILE", default=None,
+                   help="JSON fault plan (see docs/robustness.md); "
+                        "overrides --rates")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the injector's RNG streams")
+    p.add_argument("--rates", default="0,0.001,0.01",
+                   help="comma-separated loss rates for the sweep "
+                        "(ignored with --fault-plan)")
+    p.add_argument("--ops", type=int, default=200,
+                   help="closed-loop verbs per run")
+    p.add_argument("--payload", type=_parse_size, default="4K")
+    p.add_argument("--op", choices=["read", "write"], default="write")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw rows as JSON instead of a table")
 
     p = sub.add_parser("trace-gen", help="generate a JSONL request trace")
     p.add_argument("out", help="output path")
@@ -380,6 +399,47 @@ def _cmd_audit(args) -> str:
                         title=f"{len(report)} anomalies")
 
 
+def _cmd_faults(args) -> str:
+    from repro.faults import FaultPlan
+    from repro.faults.bench import faulted_sweep, run_fault_bench
+
+    if args.fault_plan is not None:
+        plan = FaultPlan.from_file(args.fault_plan)
+        rows = [run_fault_bench(ops=args.ops, payload=args.payload,
+                                op=args.op, plan=plan,
+                                fault_seed=args.fault_seed)]
+        title = (f"{args.op.upper()} {fmt_size(args.payload)} x{args.ops} "
+                 f"under {args.fault_plan}")
+    else:
+        try:
+            rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        except ValueError:
+            raise ValueError(f"cannot parse --rates: {args.rates!r}")
+        rows = faulted_sweep(rates=rates, ops=args.ops, payload=args.payload,
+                             op=args.op, fault_seed=args.fault_seed)
+        title = (f"{args.op.upper()} {fmt_size(args.payload)} x{args.ops} "
+                 f"vs loss rate")
+    if args.json:
+        return json.dumps(rows, indent=2)
+    table = []
+    for row in rows:
+        table.append([
+            f"{row.get('loss_rate', 0.0):.2%}" if "loss_rate" in row
+            else "(plan)",
+            f"{row['completed']}/{row['ops']}",
+            f"{row['goodput_gbps']:.2f}",
+            f"{row['p50_ns']:.0f}",
+            f"{row['p99_ns']:.0f}",
+            f"{row['faults_injected']:.0f}",
+            f"{row['retransmits']:.0f}",
+            f"{row['qp_recoveries']:.0f}",
+        ])
+    return format_table(
+        ["loss", "completed", "Gbps", "p50 ns", "p99 ns", "injected",
+         "retransmits", "recoveries"],
+        table, title=title)
+
+
 def _cmd_trace_gen(args) -> str:
     import random
 
@@ -428,6 +488,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "advise": _cmd_advise,
         "audit": _cmd_audit,
+        "faults": _cmd_faults,
         "trace-gen": _cmd_trace_gen,
         "trace-solve": _cmd_trace_solve,
     }

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the simulated testbed.
+
+The subsystem is three layers:
+
+* :mod:`repro.faults.plan` — typed, serializable fault specifications
+  (:class:`FaultPlan` and friends);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which arms a
+  plan against a live cluster by wrapping exactly the targeted link
+  instances (pay-as-you-go: an empty plan touches nothing);
+* :mod:`repro.faults.bench` — goodput/latency-under-loss benchmarks.
+
+See ``docs/robustness.md`` for the fault model and the RC reliability
+protocol that absorbs these faults.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (Fault, FaultPlan, LinkDown, LinkFlap,
+                               NodeStall, PacketLoss, SocCrash)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "PacketLoss",
+    "LinkDown",
+    "LinkFlap",
+    "NodeStall",
+    "SocCrash",
+]

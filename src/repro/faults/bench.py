@@ -1,0 +1,97 @@
+"""Goodput/latency benchmark under injected faults.
+
+Runs a closed-loop RC verb workload (one client against server 0's
+host) with a fault plan armed, recovering the QP whenever retry
+exhaustion wedges it, and reports goodput, latency percentiles and the
+reliability counters.  This is the engine behind ``repro faults`` and
+the ``faulted_sweep`` section of the benchmark trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+from repro.net.cluster import SimCluster
+from repro.net.topology import paper_testbed
+from repro.rdma.qp import QPState
+from repro.rdma.verbs import RdmaContext
+from repro.sim.monitor import Histogram
+from repro.units import to_gbps
+
+
+def run_fault_bench(ops: int = 200, payload: int = 4096, op: str = "write",
+                    rate: float = 0.0, plan: Optional[FaultPlan] = None,
+                    fault_seed: int = 0, nic: str = "snic",
+                    target: str = "host") -> dict:
+    """Closed-loop RC ``op`` stream under ``plan`` (or uniform ``rate``
+    loss on the client's link); returns goodput/latency/counters."""
+    if op not in ("read", "write"):
+        raise ValueError(f"op must be read or write: {op!r}")
+    if ops < 1:
+        raise ValueError(f"need at least one op: {ops}")
+    cluster = SimCluster(paper_testbed(), n_clients=1, nic=nic)
+    if plan is None:
+        plan = FaultPlan.packet_loss("net.client0", rate, seed=fault_seed)
+    injector = cluster.install_faults(plan, seed=fault_seed)
+    ctx = RdmaContext(cluster)
+    local = ctx.reg_mr("client0", payload)
+    local.write_local(0, bytes(min(payload, 1 << 16)))
+    remote = ctx.reg_mr(target, payload)
+    qp, _ = ctx.connect_rc("client0", target)
+    sim = cluster.sim
+
+    latency = Histogram()
+    completed = failed = 0
+
+    def driver():
+        nonlocal completed, failed
+        for i in range(ops):
+            if qp.state is QPState.ERROR:
+                qp.recover()
+            start = sim.now
+            if op == "read":
+                work = qp.post_read(i, local, remote, payload)
+            else:
+                work = qp.post_write(i, local, remote, payload)
+            yield work
+            for completion in qp.send_cq.poll():
+                if completion.ok:
+                    completed += 1
+                    latency.record(sim.now - start)
+                else:
+                    failed += 1
+
+    sim.process(driver())
+    sim.run()
+    elapsed = sim.now
+    stats = cluster.stats
+    return {
+        "op": op,
+        "payload_bytes": payload,
+        "ops": ops,
+        "completed": completed,
+        "failed": failed,
+        "goodput_gbps": (to_gbps(completed * payload / elapsed)
+                         if elapsed > 0 else 0.0),
+        "p50_ns": latency.p50,
+        "p99_ns": latency.p99,
+        "elapsed_ns": elapsed,
+        "faults_injected": injector.injected,
+        "retransmits": stats.get("rdma.retransmits", 0.0),
+        "rnr_naks": stats.get("rdma.rnr_naks", 0.0),
+        "qp_recoveries": stats.get("qp.recoveries", 0.0),
+    }
+
+
+def faulted_sweep(rates=(0.0, 0.001, 0.01), ops: int = 200,
+                  payload: int = 4096, op: str = "write",
+                  fault_seed: int = 0) -> list:
+    """One :func:`run_fault_bench` row per loss rate."""
+    rows = []
+    for rate in rates:
+        row = run_fault_bench(ops=ops, payload=payload, op=op, rate=rate,
+                              fault_seed=fault_seed)
+        row["loss_rate"] = rate
+        rows.append(row)
+    return rows

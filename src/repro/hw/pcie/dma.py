@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Union, TYPE_CHECKING
 
+from repro.sim.links import LOST
 from repro.sim.process import Process
 from repro.hw.pcie.link import PCIeLink
 from repro.hw.pcie.switch import PCIeSwitch
@@ -73,25 +74,34 @@ class DmaEngine:
     # -- internals ---------------------------------------------------------------
 
     def _traverse(self, route: Sequence[Hop], nbytes: int, mps: int):
-        """Move ``nbytes`` across every hop of ``route`` in order."""
+        """Move ``nbytes`` across every hop of ``route`` in order.
+
+        A hop whose delivery is poisoned by a fault injector yields
+        :data:`LOST`; the traversal then stops (the TLPs never reach
+        later hops) and the process resolves to ``LOST``.
+        """
         for hop in route:
             if isinstance(hop, LinkHop):
-                yield hop.link.send_data(nbytes, mps, forward=hop.forward)
+                got = yield hop.link.send_data(nbytes, mps, forward=hop.forward)
             else:
-                yield hop.switch.forward(hop.src, hop.dst, payload=nbytes)
+                got = yield hop.switch.forward(hop.src, hop.dst, payload=nbytes)
+            if got is LOST:
+                return LOST
         return nbytes
 
     def _traverse_header(self, route: Sequence[Hop], count: int = 1):
         """Move ``count`` header-only TLPs (read requests) across a route."""
-        last = None
         for hop in route:
             if isinstance(hop, LinkHop):
+                last = None
                 for _ in range(count):
                     last = hop.link.send_tlp(0, forward=hop.forward)
-                yield last
+                got = yield last
             else:
-                yield hop.switch.forward(hop.src, hop.dst,
-                                         payload=TLP_READ_REQUEST_BYTES)
+                got = yield hop.switch.forward(hop.src, hop.dst,
+                                               payload=TLP_READ_REQUEST_BYTES)
+            if got is LOST:
+                return LOST
         return 0
 
     # -- public API ---------------------------------------------------------------
@@ -113,7 +123,9 @@ class DmaEngine:
         requests = max(1, math.ceil(nbytes / self.max_read_request))
 
         def transaction():
-            yield self.sim.process(self._traverse_header(route, requests))
+            out = yield self.sim.process(self._traverse_header(route, requests))
+            if out is LOST:
+                return LOST
             returned = yield self.sim.process(
                 self._traverse(reverse_route(route), nbytes, mps))
             return returned

@@ -16,8 +16,9 @@ one server.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
 from repro.hw.cpu import CPUSpec
 from repro.net.topology import Testbed
@@ -26,6 +27,11 @@ from repro.nic.rnic import RNIC
 from repro.nic.smartnic import SmartNIC
 from repro.sim import DuplexChannel, Resource, Simulator
 from repro.units import GB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.rdma.qp import QueuePair
 
 # Concurrent processing units inside a server NIC's verb pipeline.
 # With service time = units / verb_rate per op, the aggregate saturates
@@ -48,7 +54,10 @@ class Node:
     cpu: CPUSpec
     memory_bytes: int
     server: Optional[str] = None
-    cluster: "SimCluster" = field(repr=False, default=None)
+    cluster: Optional["SimCluster"] = field(repr=False, default=None)
+    # Set by a fault injector's SoC-crash (or recovery); a crashed
+    # node's memory is unreachable and inbound packets are lost.
+    crashed: bool = field(repr=False, default=False)
 
     def __post_init__(self):
         if self.kind not in ("client", "host", "soc"):
@@ -131,6 +140,15 @@ class SimCluster:
         self.nodes: Dict[str, Node] = {}
         self._channels: Dict[str, DuplexChannel] = {}
         self.servers: Dict[str, ServerInstance] = {}
+
+        # QP bookkeeping is scoped to this cluster (not process-global)
+        # so back-to-back simulations get identical QPNs and can never
+        # observe each other's QPs.
+        self._qp_registry: Dict[int, "QueuePair"] = {}
+        self._qpn_counter = itertools.count(100)
+        # Reliability/fault counters, read by Telemetry.snapshot().
+        self.stats: Dict[str, float] = {}
+        self.fault_injector: Optional["FaultInjector"] = None
 
         fabric = testbed.fabric
         for k in range(n_servers):
@@ -218,6 +236,42 @@ class SimCluster:
         if isinstance(target, Node):
             return self.server_of(target).dma_route(target.endpoint)
         return self._server0.dma_route(target)
+
+    # -- queue-pair registry -------------------------------------------------------
+
+    def register_qp(self, qp: "QueuePair") -> int:
+        """Assign the next QPN of this cluster and index the QP."""
+        qpn = next(self._qpn_counter)
+        self._qp_registry[qpn] = qp
+        return qpn
+
+    def qp_by_qpn(self, qpn: int) -> "QueuePair":
+        """Resolve a QP number (e.g. a completion's source) to its QP."""
+        from repro.rdma.qp import QPError
+
+        try:
+            return self._qp_registry[qpn]
+        except KeyError:
+            raise QPError(f"unknown QPN {qpn}") from None
+
+    def qps_on(self, node: Node) -> List["QueuePair"]:
+        """All QPs owned by ``node``, in creation order."""
+        return [qp for qp in self._qp_registry.values() if qp.node is node]
+
+    # -- reliability / fault bookkeeping -------------------------------------------
+
+    def bump(self, key: str, amount: float = 1.0) -> None:
+        """Increment a cluster-level counter (telemetry surface)."""
+        self.stats[key] = self.stats.get(key, 0.0) + amount
+
+    def install_faults(self, plan: "FaultPlan",
+                       seed: int = 0) -> "FaultInjector":
+        """Install a fault plan; returns the (already armed) injector."""
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(self, plan, seed=seed)
+        injector.install()
+        return injector
 
     # -- node access -------------------------------------------------------------
 

@@ -71,3 +71,13 @@ class CompletionQueue:
         else:
             self._waiters.append(waiter)
         return waiter
+
+    def cancel(self, waiter: "Event") -> None:
+        """Abandon an un-fired :meth:`wait` (e.g. a client-side timeout).
+
+        A no-op if the waiter already fired or was never queued.
+        """
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass

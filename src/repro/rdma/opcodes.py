@@ -26,3 +26,5 @@ class CompletionStatus(Enum):
     REMOTE_ACCESS_ERROR = "remote-access-error"
     FLUSH_ERROR = "work-request-flushed"
     NOT_READY = "not-ready"
+    RETRY_EXC_ERR = "transport-retry-exceeded"
+    RNR_RETRY_EXC_ERR = "rnr-retry-exceeded"

@@ -4,20 +4,30 @@ A queue pair belongs to one node.  Posting a verb starts a discrete-event
 process that replays the hardware's execution flow — posting cost at the
 requester CPU, NIC pipelines, network channels, and the responder-side
 DMA over the SmartNIC's internal fabric — then delivers a completion.
+
+RC QPs implement the reliability protocol: each work request carries a
+packet sequence number, and any leg of its execution poisoned by a fault
+injector (see :mod:`repro.faults`) resolves to :data:`~repro.sim.LOST`.
+The requester then waits an ack-timeout with exponential backoff and
+retransmits, up to ``retry_cnt`` times before wedging the QP with
+``RETRY_EXC_ERR``.  An RC SEND that finds no receive buffer posted draws
+an RNR NAK and is retried after ``rnr_timer_ns``, up to ``rnr_retry``
+times.  Fault-free runs never enter any of these paths and execute the
+exact event sequence of the unmodified stack.
 """
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from enum import Enum
-from typing import Deque, Optional, Tuple, TYPE_CHECKING
+from typing import Deque, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.rdma import transport
 from repro.rdma.cq import Completion, CompletionQueue
 from repro.rdma.mr import AccessError, MemoryRegion
 from repro.rdma.opcodes import CompletionStatus, WorkOpcode
 from repro.rdma.srq import SharedReceiveQueue
+from repro.sim.links import LOST
 from repro.sim.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -34,8 +44,10 @@ class QPState(Enum):
 
     RC QPs walk RESET -> INIT -> RTR -> RTS (or take the
     :meth:`QueuePair.connect` shortcut); UD QPs are created ready.
-    A remote access error moves the QP to ERROR, after which posts
-    flush with :attr:`CompletionStatus.FLUSH_ERROR`.
+    A fatal error (remote access fault, retry exhaustion) moves the QP
+    to ERROR, after which posts flush with
+    :attr:`CompletionStatus.FLUSH_ERROR` until the owner recycles it
+    through RESET back up to RTS (see :meth:`QueuePair.recover`).
     """
 
     RESET = "reset"
@@ -54,6 +66,17 @@ _TRANSITIONS = {
     QPState.ERROR: set(),
 }
 
+# Completion statuses that wedge the QP (ibv semantics).
+_FATAL_STATUSES = frozenset({
+    CompletionStatus.REMOTE_ACCESS_ERROR,
+    CompletionStatus.RETRY_EXC_ERR,
+    CompletionStatus.RNR_RETRY_EXC_ERR,
+})
+
+# Attempt outcomes of the RC reliability loop (LOST is the third).
+_OK = object()
+_RNR = object()
+
 
 class QPError(Exception):
     """QP misuse: wrong type, wrong state, not connected, bad sizes."""
@@ -62,15 +85,16 @@ class QPError(Exception):
 class QueuePair:
     """One queue pair plus its execution engine."""
 
-    _qpns = itertools.count(100)
-    _registry: dict = {}
-
     def __init__(self, node: "Node", qp_type: QPType,
                  send_cq: CompletionQueue, recv_cq: CompletionQueue,
                  max_inline: int = 188, max_send_wr: int = 1024,
                  max_recv_wr: int = 4096, srq: "SharedReceiveQueue" = None):
         if max_send_wr < 1 or max_recv_wr < 1:
             raise QPError("queue depths must be >= 1")
+        if node.cluster is None:
+            raise QPError(
+                f"node {node.name!r} is not attached to a cluster; QPs can "
+                "only be created on nodes owned by a SimCluster")
         self.node = node
         self.qp_type = qp_type
         self.send_cq = send_cq
@@ -81,7 +105,7 @@ class QueuePair:
         self.srq = srq
         if srq is not None and srq.node is not node:
             raise QPError("SRQ belongs to another node")
-        self.qpn = next(self._qpns)
+        self.qpn = node.cluster.register_qp(self)
         self.peer: Optional["QueuePair"] = None
         self._recv_queue: Deque[Tuple[int, MemoryRegion, int, int]] = deque()
         self.dropped_receives = 0
@@ -90,15 +114,18 @@ class QueuePair:
         self.state = QPState.RTS if qp_type is QPType.UD else QPState.RESET
         # Source addressing for UD replies (like the src fields of a wc).
         self.inbound_sources: Deque[int] = deque()
-        QueuePair._registry[self.qpn] = self
-
-    @classmethod
-    def by_qpn(cls, qpn: int) -> "QueuePair":
-        """Resolve a QP number (e.g. a completion's source) to its QP."""
-        try:
-            return cls._registry[qpn]
-        except KeyError:
-            raise QPError(f"unknown QPN {qpn}") from None
+        # -- RC reliability protocol (ibv_qp_attr knobs) -----------------
+        self.retry_cnt = 7            # transport retries before RETRY_EXC_ERR
+        self.rnr_retry = 7            # RNR retries before RNR_RETRY_EXC_ERR
+        self.timeout_ns = 16_000.0    # initial ack timeout
+        self.max_timeout_ns = 256_000.0   # backoff cap
+        self.rnr_timer_ns = 10_000.0  # wait after an RNR NAK
+        self.sq_psn = 0               # next packet sequence number
+        # PSNs whose payload this QP already applied (responder-side
+        # dedup of retransmits whose ack was lost); only populated when
+        # a fault injector is installed.
+        self._seen_psns: Set[int] = set()
+        self._needs_recovery = False
 
     # -- connection management ------------------------------------------------------
 
@@ -106,15 +133,38 @@ class QueuePair:
         """Walk the QP state machine (ibv_modify_qp).
 
         ERROR and RESET are reachable from anywhere; other transitions
-        must follow RESET -> INIT -> RTR -> RTS.
+        must follow RESET -> INIT -> RTR -> RTS.  Moving to RESET wipes
+        queued receives and sequence state; reaching RTS again after an
+        ERROR counts one ``qp.recoveries``.
         """
-        if new_state in (QPState.ERROR, QPState.RESET):
+        if new_state is QPState.ERROR:
             self.state = new_state
+            self._needs_recovery = True
+            return
+        if new_state is QPState.RESET:
+            self.state = new_state
+            self._recv_queue.clear()
+            self.inbound_sources.clear()
+            self._seen_psns.clear()
+            self.sq_psn = 0
+            self.outstanding_sends = 0
             return
         if new_state not in _TRANSITIONS[self.state]:
             raise QPError(
                 f"illegal transition {self.state.value} -> {new_state.value}")
         self.state = new_state
+        if new_state is QPState.RTS and self._needs_recovery:
+            self._needs_recovery = False
+            self.node.cluster.bump("qp.recoveries")
+
+    def recover(self) -> None:
+        """Recycle an errored QP: ERROR -> RESET -> INIT -> RTR -> RTS.
+
+        The RC connection (``peer``) is retained; receives must be
+        reposted by the owner afterwards.
+        """
+        for state in (QPState.RESET, QPState.INIT, QPState.RTR, QPState.RTS):
+            self.modify_qp(state)
 
     def connect(self, peer: "QueuePair") -> None:
         """Bring an RC pair to RTS; both ends become connected."""
@@ -253,21 +303,81 @@ class QueuePair:
         return self.sim.process(nothing())
 
     def _posting(self, posting_delay: Optional[float]) -> float:
-        if posting_delay is not None:
-            return posting_delay
-        return self.node.cpu.posting_latency()
+        base = (posting_delay if posting_delay is not None
+                else self.node.cpu.posting_latency())
+        injector = self.cluster.fault_injector
+        if injector is not None:
+            base *= injector.cpu_factor(self.node, self.sim.now)
+        return base
 
     def _complete(self, wr_id: int, opcode: WorkOpcode, nbytes: int,
                   signaled: bool,
                   status: CompletionStatus = CompletionStatus.SUCCESS) -> None:
         self.outstanding_sends = max(0, self.outstanding_sends - 1)
-        if status is CompletionStatus.REMOTE_ACCESS_ERROR:
+        if status in _FATAL_STATUSES:
             # A fatal RC error wedges the QP (ibv semantics).
             self.state = QPState.ERROR
+            self._needs_recovery = True
         if signaled or status is not CompletionStatus.SUCCESS:
             self.send_cq.push(Completion(wr_id=wr_id, opcode=opcode,
                                          status=status, byte_len=nbytes,
                                          timestamp=self.sim.now))
+
+    # -- RC reliability -------------------------------------------------------------
+
+    def _with_reliability(self, wr_id: int, opcode: WorkOpcode, nbytes: int,
+                          signaled: bool, attempt):
+        """Drive ``attempt(psn)`` to completion under the RC retry rules.
+
+        ``attempt`` is a generator function executing one transmission of
+        the work request; it returns ``_OK``, ``_RNR``, or ``LOST``.  On
+        a fault-free run the loop body executes exactly once and adds no
+        simulation events of its own.
+        """
+        cluster = self.cluster
+        psn = self.sq_psn
+        self.sq_psn += 1
+        transport_retries = self.retry_cnt
+        rnr_retries = self.rnr_retry
+        timeout = self.timeout_ns
+        while True:
+            if self.state is QPState.ERROR:
+                # Wedged while queued/retrying (e.g. a crash injector
+                # errored the QP): flush instead of transmitting.
+                self._complete(wr_id, opcode, 0, True,
+                               CompletionStatus.FLUSH_ERROR)
+                return
+            try:
+                outcome = yield from attempt(psn)
+            except AccessError:
+                self._complete(wr_id, opcode, 0, True,
+                               CompletionStatus.REMOTE_ACCESS_ERROR)
+                return
+            if outcome is _RNR:
+                cluster.bump("rdma.rnr_naks")
+                if rnr_retries <= 0:
+                    self._complete(wr_id, opcode, 0, True,
+                                   CompletionStatus.RNR_RETRY_EXC_ERR)
+                    return
+                rnr_retries -= 1
+                yield self.sim.timeout(self.rnr_timer_ns)
+                continue
+            if outcome is LOST:
+                if transport_retries <= 0:
+                    self._complete(wr_id, opcode, 0, True,
+                                   CompletionStatus.RETRY_EXC_ERR)
+                    return
+                transport_retries -= 1
+                cluster.bump("rdma.retransmits")
+                yield self.sim.timeout(timeout)
+                timeout = min(timeout * 2, self.max_timeout_ns)
+                continue
+            if self.state is QPState.ERROR:
+                self._complete(wr_id, opcode, 0, True,
+                               CompletionStatus.FLUSH_ERROR)
+                return
+            self._complete(wr_id, opcode, nbytes, signaled)
+            return
 
     # -- execution processes -------------------------------------------------------------
 
@@ -284,57 +394,93 @@ class QueuePair:
         # Path-3 semantics apply only within one server; host/SoC pairs
         # on different servers are ordinary remote peers over the fabric.
         intra = requester.same_server_as(responder)
-        if intra:
-            # The requester-side processing happens on the (shared)
-            # server NIC pipeline.
-            yield from transport.server_nic_stage(cluster, requester)
-        else:
-            yield self.sim.timeout(
-                transport.nic_pipeline_delay(cluster, self.node))
-        try:
+
+        def attempt(psn):
+            # Retransmits re-enter the NIC pipeline, like the hardware.
             if intra:
-                yield from self._one_sided_intra(
-                    opcode, local_mr, local_offset, remote_mr,
-                    remote_offset, length, rkey)
+                yield from transport.server_nic_stage(cluster, requester)
             else:
-                yield from self._one_sided_network(
+                yield self.sim.timeout(
+                    transport.nic_pipeline_delay(cluster, self.node))
+            if intra:
+                outcome = yield from self._one_sided_intra(
                     opcode, local_mr, local_offset, remote_mr,
-                    remote_offset, length, rkey, responder)
-        except AccessError:
-            self._complete(wr_id, opcode, 0, True,
-                           CompletionStatus.REMOTE_ACCESS_ERROR)
+                    remote_offset, length, rkey, psn)
+            else:
+                outcome = yield from self._one_sided_network(
+                    opcode, local_mr, local_offset, remote_mr,
+                    remote_offset, length, rkey, responder, psn)
+            if outcome is LOST:
+                return LOST
+            if intra:
+                yield self.sim.timeout(
+                    transport.nic_pipeline_delay(cluster, self.node))
+            return _OK
+
+        yield from self._with_reliability(wr_id, opcode, length, signaled,
+                                          attempt)
+
+    def _apply_write(self, remote_mr: MemoryRegion, remote_offset: int,
+                     data: bytes, rkey: int, psn: int) -> None:
+        """Responder-side WRITE apply with retransmit dedup.
+
+        A retransmit whose original data landed but whose ack was lost
+        arrives with an already-seen PSN; it is counted, not re-applied.
+        Fault-free runs skip the bookkeeping entirely.
+        """
+        if self.cluster.fault_injector is None:
+            remote_mr.dma_write(remote_offset, data, rkey)
             return
-        if intra:
-            yield self.sim.timeout(
-                transport.nic_pipeline_delay(cluster, self.node))
-        self._complete(wr_id, opcode, length, signaled)
+        peer = self.peer
+        if psn in peer._seen_psns:
+            self.cluster.bump("rdma.duplicates")
+            return
+        remote_mr.dma_write(remote_offset, data, rkey)
+        peer._seen_psns.add(psn)
 
     def _one_sided_network(self, opcode, local_mr, local_offset, remote_mr,
-                           remote_offset, length, rkey, responder):
+                           remote_offset, length, rkey, responder, psn):
         cluster = self.cluster
         if opcode is WorkOpcode.READ:
             # Request packet over, DMA read at the server, data back.
-            yield from transport.network_transfer(cluster, self.node,
-                                                  responder, 0)
+            got = yield from transport.network_transfer(cluster, self.node,
+                                                        responder, 0)
+            if got is LOST or responder.crashed:
+                return LOST
             yield from transport.server_nic_stage(cluster, responder)
-            yield from transport.server_dma_read(cluster, responder, length)
+            got = yield from transport.server_dma_read(cluster, responder,
+                                                       length)
+            if got is LOST:
+                return LOST
             data = remote_mr.dma_read(remote_offset, length, rkey)
-            yield from transport.network_transfer(cluster, responder,
-                                                  self.node, length)
+            got = yield from transport.network_transfer(cluster, responder,
+                                                        self.node, length)
+            if got is LOST:
+                return LOST
             local_mr.write_local(local_offset, data)
         else:
             # Data over, posted DMA write at the server, ack back.
             data = local_mr.read_local(local_offset, length)
-            yield from transport.network_transfer(cluster, self.node,
-                                                  responder, length)
+            got = yield from transport.network_transfer(cluster, self.node,
+                                                        responder, length)
+            if got is LOST or responder.crashed:
+                return LOST
             yield from transport.server_nic_stage(cluster, responder)
-            yield from transport.server_dma_write(cluster, responder, length)
-            remote_mr.dma_write(remote_offset, data, rkey)
-            yield from transport.network_transfer(cluster, responder,
-                                                  self.node, 0)
+            got = yield from transport.server_dma_write(cluster, responder,
+                                                        length)
+            if got is LOST:
+                return LOST
+            self._apply_write(remote_mr, remote_offset, data, rkey, psn)
+            # The ack can be lost too; the data stays applied and the
+            # retransmit is deduplicated by PSN at the responder.
+            got = yield from transport.network_transfer(cluster, responder,
+                                                        self.node, 0)
+            if got is LOST:
+                return LOST
+        return None
 
     def _one_sided_intra(self, opcode, local_mr, local_offset, remote_mr,
-                         remote_offset, length, rkey):
+                         remote_offset, length, rkey, psn):
         """Path ③: host <-> SoC through the internal fabric only.
 
         On top of the data legs, the doorbell MMIO crosses the fabric to
@@ -347,43 +493,75 @@ class QueuePair:
         snic = cluster.server_of(local_node).snic
         crossing = snic.crossing_latency(local_node.endpoint)
         yield self.sim.timeout(0.5 * crossing)  # doorbell to the NIC
+        if remote_node.crashed:
+            return LOST
         if opcode is WorkOpcode.READ:
             data = remote_mr.dma_read(remote_offset, length, rkey)
-            yield from transport.intra_machine_transfer(
+            got = yield from transport.intra_machine_transfer(
                 cluster, remote_node, local_node, length)
+            if got is LOST:
+                return LOST
             local_mr.write_local(local_offset, data)
         else:
             data = local_mr.read_local(local_offset, length)
-            yield from transport.intra_machine_transfer(
+            got = yield from transport.intra_machine_transfer(
                 cluster, local_node, remote_node, length)
-            remote_mr.dma_write(remote_offset, data, rkey)
+            if got is LOST:
+                return LOST
+            self._apply_write(remote_mr, remote_offset, data, rkey, psn)
         yield self.sim.timeout(crossing)  # CQE back to requester memory
+        return None
 
     def _run_send(self, wr_id: int, data: bytes, target: "QueuePair",
                   signaled: bool, posting_delay: Optional[float]):
         cluster = self.cluster
         yield self.sim.timeout(self._posting(posting_delay))
-        yield self.sim.timeout(transport.nic_pipeline_delay(cluster, self.node))
         responder = target.node
-        if self.node.same_server_as(responder):
-            yield from transport.intra_machine_transfer(
-                cluster, self.node, responder, len(data))
-        else:
-            yield from transport.network_transfer(cluster, self.node,
-                                                  responder, len(data))
-            if responder.on_server:
-                yield from transport.server_nic_stage(cluster, responder)
-                yield from transport.server_dma_write(
-                    cluster, responder, len(data))
-        target._deliver(data, self.qpn)
-        self._complete(wr_id, WorkOpcode.SEND, len(data), signaled)
 
-    def _deliver(self, data: bytes, src_qpn: int) -> None:
-        """Land an inbound SEND in the next posted receive buffer."""
+        def attempt(psn):
+            yield self.sim.timeout(
+                transport.nic_pipeline_delay(cluster, self.node))
+            if self.node.same_server_as(responder):
+                got = yield from transport.intra_machine_transfer(
+                    cluster, self.node, responder, len(data))
+                if got is LOST or responder.crashed:
+                    return LOST
+            else:
+                got = yield from transport.network_transfer(
+                    cluster, self.node, responder, len(data))
+                if got is LOST or responder.crashed:
+                    return LOST
+                if responder.on_server:
+                    yield from transport.server_nic_stage(cluster, responder)
+                    got = yield from transport.server_dma_write(
+                        cluster, responder, len(data))
+                    if got is LOST:
+                        return LOST
+            if not target._deliver(data, self.qpn):
+                if self.qp_type is QPType.RC:
+                    return _RNR
+                # UD: receiver not ready means the datagram is dropped.
+                target.dropped_receives += 1
+            return _OK
+
+        if self.qp_type is QPType.RC:
+            yield from self._with_reliability(wr_id, WorkOpcode.SEND,
+                                              len(data), signaled, attempt)
+        else:
+            # UD is fire-and-forget: a lost datagram is dropped silently
+            # and the sender still completes successfully.
+            yield from attempt(0)
+            self._complete(wr_id, WorkOpcode.SEND, len(data), signaled)
+
+    def _deliver(self, data: bytes, src_qpn: int) -> bool:
+        """Land an inbound SEND in the next posted receive buffer.
+
+        Returns False when no buffer is posted — an RC sender treats
+        that as an RNR NAK; a UD sender just drops the datagram.
+        """
         queue = self._recv_queue if self.srq is None else self.srq.queue
         if not queue:
-            self.dropped_receives += 1
-            return
+            return False
         wr_id, mr, offset, capacity = queue.popleft()
         if len(data) > capacity:
             self.dropped_receives += 1
@@ -391,10 +569,11 @@ class QueuePair:
                 wr_id=wr_id, opcode=WorkOpcode.RECV,
                 status=CompletionStatus.LOCAL_PROTECTION_ERROR,
                 byte_len=0, timestamp=self.sim.now))
-            return
+            return True
         mr.write_local(offset, data)
         self.inbound_sources.append(src_qpn)
         self.recv_cq.push(Completion(
             wr_id=wr_id, opcode=WorkOpcode.RECV,
             status=CompletionStatus.SUCCESS, byte_len=len(data),
             timestamp=self.sim.now))
+        return True

@@ -11,6 +11,7 @@ import math
 from typing import TYPE_CHECKING
 
 from repro.nic.core import Endpoint
+from repro.sim.links import LOST
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.cluster import Node, SimCluster
@@ -28,15 +29,20 @@ def network_transfer(cluster: "SimCluster", src: "Node", dst: "Node",
     """Move a message between two nodes over the fabric (a process)."""
     wire = network_wire_bytes(payload, cluster)
     # Convention: forward = toward the switch on client links, toward
-    # the server on server links.
+    # the server on server links.  A leg poisoned by a fault injector
+    # resolves to LOST; the message then never reaches the second leg.
     if src.kind == "client":
-        yield cluster.channel(src).send(wire, forward=True)
+        got = yield cluster.channel(src).send(wire, forward=True)
     else:
-        yield cluster.channel(src).send(wire, forward=False)
+        got = yield cluster.channel(src).send(wire, forward=False)
+    if got is LOST:
+        return LOST
     if dst.kind == "client":
-        yield cluster.channel(dst).send(wire, forward=False)
+        got = yield cluster.channel(dst).send(wire, forward=False)
     else:
-        yield cluster.channel(dst).send(wire, forward=True)
+        got = yield cluster.channel(dst).send(wire, forward=True)
+    if got is LOST:
+        return LOST
     return payload
 
 
@@ -79,7 +85,9 @@ def server_dma_read(cluster: "SimCluster", target, length: int):
     if length == 0:
         return 0
     engine, route, mps = cluster.dma_route(target)
-    yield engine.dma_read(route, length, mps)
+    got = yield engine.dma_read(route, length, mps)
+    if got is LOST:
+        return LOST
     return length
 
 
@@ -88,7 +96,9 @@ def server_dma_write(cluster: "SimCluster", target, length: int):
     if length == 0:
         return 0
     engine, route, mps = cluster.dma_route(target)
-    yield engine.dma_write(route, length, mps)
+    got = yield engine.dma_write(route, length, mps)
+    if got is LOST:
+        return LOST
     return length
 
 
@@ -108,6 +118,10 @@ def intra_machine_transfer(cluster: "SimCluster", source: "Node",
     if source_end is sink_end:
         raise ValueError("path-3 transfer needs distinct endpoints")
     if length:
-        yield from server_dma_read(cluster, source, length)
-        yield from server_dma_write(cluster, sink, length)
+        got = yield from server_dma_read(cluster, source, length)
+        if got is LOST:
+            return LOST
+        got = yield from server_dma_write(cluster, sink, length)
+        if got is LOST:
+            return LOST
     return length

@@ -42,8 +42,12 @@ class RdmaContext:
                   recv_cq: Optional[CompletionQueue] = None,
                   srq: Optional[SharedReceiveQueue] = None) -> QueuePair:
         node = self.cluster.node(node_name)
-        send_cq = send_cq or CompletionQueue(self.cluster.sim)
-        recv_cq = recv_cq or CompletionQueue(self.cluster.sim)
+        # Explicit None checks: an empty CompletionQueue is falsy
+        # (len() == 0), so ``or`` would silently replace a caller's CQ.
+        if send_cq is None:
+            send_cq = CompletionQueue(self.cluster.sim)
+        if recv_cq is None:
+            recv_cq = CompletionQueue(self.cluster.sim)
         return QueuePair(node, qp_type, send_cq, recv_cq, srq=srq)
 
     def create_srq(self, node_name: str, max_wr: int = 4096) -> SharedReceiveQueue:

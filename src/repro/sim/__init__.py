@@ -25,7 +25,7 @@ from repro.sim.errors import SimulationError, Interrupt
 from repro.sim.events import Event, Timeout, AllOf, AnyOf, URGENT, NORMAL, LOW
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
-from repro.sim.links import SimplexChannel, DuplexChannel
+from repro.sim.links import SimplexChannel, DuplexChannel, LOST
 from repro.sim.monitor import Counter, RateMeter, Histogram, TimeWeighted
 from repro.sim.rng import RandomStreams
 
@@ -45,6 +45,7 @@ __all__ = [
     "Store",
     "SimplexChannel",
     "DuplexChannel",
+    "LOST",
     "Counter",
     "RateMeter",
     "Histogram",

@@ -19,6 +19,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
 
 
+class _Lost:
+    """Sentinel delivered by a transfer that was dropped in flight.
+
+    A fault injector (see :mod:`repro.faults`) may replace a channel's
+    delivery event with one carrying :data:`LOST`; consumers that care
+    about reliability compare the yielded value against it.  Fault-free
+    channels never produce it.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<LOST>"
+
+
+LOST = _Lost()
+
+
 class SimplexChannel:
     """One direction of a serial link.
 
@@ -64,6 +82,11 @@ class SimplexChannel:
         if elapsed <= 0:
             return 0.0
         return min(1.0, (self.bytes_sent.total / self.bandwidth) / elapsed)
+
+    def last_delivery_delay(self) -> float:
+        """Delay from now until the most recently submitted transfer
+        would deliver (used by fault injectors to time a LOST marker)."""
+        return max(0.0, self._free_at - self.sim.now) + self.latency
 
 
 class DuplexChannel:

@@ -50,11 +50,17 @@ class Process(Event):
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt finished {self!r}")
         waited = self._waiting_on
-        if waited is not None and waited.callbacks is not None:
-            try:
-                waited.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if waited is not None:
+            if waited.callbacks is not None:
+                try:
+                    waited.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            # Withdraw cancellable requests (resource grants, store
+            # get/put) so the interrupted wait doesn't leak capacity.
+            withdraw = getattr(waited, "_withdraw", None)
+            if withdraw is not None:
+                withdraw()
         self._waiting_on = None
         poke = Event(self.sim)
         poke.add_callback(self._resume)

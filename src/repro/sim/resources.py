@@ -12,6 +12,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
 
 
+class ResourceRequest(Event):
+    """A pending :meth:`Resource.request` grant.
+
+    Carries a ``_withdraw`` hook so that interrupting a process waiting
+    on the grant returns the queued request (or an already-granted but
+    never-used unit) to the resource instead of leaking capacity.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def _withdraw(self) -> None:
+        if not self.triggered:
+            try:
+                self.resource._waiters.remove(self)
+            except ValueError:  # pragma: no cover - already granted/raced
+                pass
+        else:
+            # Granted, but the waiter is gone: hand the unit onward.
+            self.resource.release()
+
+
 class Resource:
     """A counted resource with FIFO granting.
 
@@ -45,7 +70,7 @@ class Resource:
 
     def request(self) -> Event:
         """An event that fires when one unit is granted to the caller."""
-        grant = Event(self.sim)
+        grant = ResourceRequest(self)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             grant.succeed()
@@ -61,6 +86,46 @@ class Resource:
             self._waiters.popleft().succeed()
         else:
             self._in_use -= 1
+
+
+class StoreGet(Event):
+    """A pending :meth:`Store.get`; withdrawable on interrupt."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.sim)
+        self.store = store
+
+    def _withdraw(self) -> None:
+        if not self.triggered:
+            try:
+                self.store._getters.remove(self)
+            except ValueError:  # pragma: no cover - already served/raced
+                pass
+        else:
+            # The item was already handed over; put it back at the head
+            # (or straight to the next waiting getter).
+            self.store._requeue_front(self._value)
+
+
+class StorePut(Event):
+    """A pending :meth:`Store.put`; withdrawable on interrupt."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.sim)
+        self.store = store
+        self.item = item
+
+    def _withdraw(self) -> None:
+        if not self.triggered:
+            try:
+                self.store._putters.remove((self, self.item))
+            except ValueError:  # pragma: no cover - already accepted/raced
+                pass
+        # Once triggered the item is in the store; nothing to undo.
 
 
 class Store:
@@ -85,7 +150,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Fires once the item is accepted (immediately unless full)."""
-        done = Event(self.sim)
+        done = StorePut(self, item)
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
             self._getters.popleft().succeed(item)
@@ -99,7 +164,7 @@ class Store:
 
     def get(self) -> Event:
         """Fires with the oldest item once one is available."""
-        got = Event(self.sim)
+        got = StoreGet(self)
         if self._items:
             got.succeed(self._items.popleft())
             if self._putters:
@@ -109,3 +174,10 @@ class Store:
         else:
             self._getters.append(got)
         return got
+
+    def _requeue_front(self, item: Any) -> None:
+        """Return a handed-out item (withdrawn getter) to the queue head."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.appendleft(item)

@@ -89,6 +89,9 @@ class Telemetry:
         counters["nic.pipeline_in_use"] = self.cluster.nic_pipeline.in_use
         counters["nic.pipeline_queued"] = (
             self.cluster.nic_pipeline.queue_length)
+        # Reliability/fault counters (faults.injected, rdma.retransmits,
+        # rdma.rnr_naks, qp.recoveries, ...) — absent on fault-free runs.
+        counters.update(self.cluster.stats)
         return CounterSnapshot(timestamp=self.cluster.sim.now,
                                counters=dict(sorted(counters.items())))
 

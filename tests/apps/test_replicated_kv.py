@@ -86,8 +86,20 @@ def test_log_wrap_when_fully_shipped(ctx):
     assert kv.replica.get_local(b"key-3-39") == b"v" * 24
 
 
-def test_log_wrap_with_unshipped_entries_raises(ctx):
+def test_log_wrap_with_unshipped_entries_backpressures(ctx):
+    # A throttled shipper can't keep up: once the log would wrap into
+    # unshipped entries, puts park in the backlog instead of raising,
+    # and everything still replicates once the shipper catches up.
     kv = ReplicatedKV(ctx, log_bytes=2048, budget_gbps=0.001)
+    for i in range(200):
+        kv.put(f"key-{i:03d}".encode(), b"v" * 32)
+    assert kv.stats.backpressured > 0
+    stats = settle(kv)
+    assert stats.applied == 200
+    assert kv.replica.get_local(b"key-199") == b"v" * 32
+
+
+def test_oversized_entry_still_raises(ctx):
+    kv = ReplicatedKV(ctx, log_bytes=1024)
     with pytest.raises(ReplicationLogFullError):
-        for i in range(200):
-            kv.put(f"key-{i}".encode(), b"v" * 32)
+        kv.put(b"huge", b"v" * 2048)

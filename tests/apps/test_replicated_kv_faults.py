@@ -1,0 +1,99 @@
+"""Replicated KV under SoC crashes: failover to host-side relay."""
+
+import pytest
+
+from repro.apps.kvstore import OffloadedKVClient
+from repro.apps.replicated_kv import ReplicatedKV
+from repro.faults import FaultPlan, SocCrash
+from repro.net.cluster import SimCluster
+from repro.net.topology import paper_testbed
+from repro.rdma import RdmaContext
+
+
+def crashed_kv(at, puts=60, recover_at=None, budget_gbps=0.5):
+    cluster = SimCluster(paper_testbed(), n_servers=2)
+    cluster.install_faults(FaultPlan(faults=(
+        SocCrash(server="server0", at=at, recover_at=recover_at),)))
+    ctx = RdmaContext(cluster)
+    kv = ReplicatedKV(ctx, budget_gbps=budget_gbps)
+    for i in range(puts):
+        kv.put(f"key-{i:03d}".encode(), f"value-{i:03d}".encode() * 16)
+    settle = cluster.sim.process(kv.wait_replicated())
+    cluster.sim.run()
+    assert settle.ok
+    return kv
+
+
+def assert_replica_matches_primary(kv, puts):
+    for i in range(puts):
+        key = f"key-{i:03d}".encode()
+        assert kv.replica.get_local(key) == kv.primary.get_local(key)
+
+
+def test_mid_run_crash_fails_over_and_finishes_replication():
+    kv = crashed_kv(at=50_000.0, puts=60)
+    assert kv.stats.failovers == 1
+    assert kv.degraded
+    assert kv.stats.applied == 60
+    assert_replica_matches_primary(kv, 60)
+    # Some entries replicated healthy, the rest through the host relay.
+    assert 0 < len(kv.stats.degraded_lag) < 60
+    assert kv.ctx.cluster.stats["replicated_kv.failovers"] == 1.0
+
+
+def test_crash_before_first_entry_ships_degraded_from_the_start():
+    kv = crashed_kv(at=1.0, puts=20)
+    assert kv.stats.failovers == 1
+    assert kv.stats.applied == 20
+    assert len(kv.stats.degraded_lag) == 20
+    assert_replica_matches_primary(kv, 20)
+
+
+def test_replica_keeps_serving_offloaded_gets_after_failover():
+    kv = crashed_kv(at=50_000.0, puts=40)
+    reader = OffloadedKVClient(kv.ctx, "client0", kv.replica)
+    result = {}
+    proc = kv.sim.process(reader.get(b"key-039"))
+    proc.add_callback(lambda e: result.setdefault("v", e.value))
+    kv.sim.run()
+    assert result["v"] == kv.primary.get_local(b"key-039")
+
+
+def test_failover_is_idempotent():
+    kv = crashed_kv(at=40_000.0, puts=30)
+    assert kv.stats.failovers == 1
+    kv._fail_over()  # a second trigger must not rebuild the relay
+    assert kv.stats.failovers == 1
+
+
+def test_healthy_run_never_degrades():
+    cluster = SimCluster(paper_testbed(), n_servers=2)
+    ctx = RdmaContext(cluster)
+    kv = ReplicatedKV(ctx, budget_gbps=0.5)
+    for i in range(20):
+        kv.put(f"key-{i:03d}".encode(), b"v" * 64)
+    settle = cluster.sim.process(kv.wait_replicated())
+    cluster.sim.run()
+    assert settle.ok
+    assert not kv.degraded
+    assert kv.stats.failovers == 0
+    assert len(kv.stats.degraded_lag) == 0
+
+
+def test_degraded_backlog_still_drains():
+    # Tiny log + crash: backpressured puts must still replicate through
+    # the host-side relay once the shipper catches up.
+    cluster = SimCluster(paper_testbed(), n_servers=2)
+    cluster.install_faults(FaultPlan(faults=(
+        SocCrash(server="server0", at=100_000.0),)))
+    ctx = RdmaContext(cluster)
+    kv = ReplicatedKV(ctx, log_bytes=2048, budget_gbps=0.05)
+    for i in range(120):
+        kv.put(f"key-{i:03d}".encode(), b"v" * 32)
+    assert kv.stats.backpressured > 0
+    settle = cluster.sim.process(kv.wait_replicated())
+    cluster.sim.run()
+    assert settle.ok
+    assert kv.stats.applied == 120
+    assert kv.stats.failovers == 1
+    assert_replica_matches_primary(kv, 120)

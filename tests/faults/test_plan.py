@@ -1,0 +1,94 @@
+"""Fault plan construction, validation, and (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.faults import (FaultPlan, LinkDown, LinkFlap, NodeStall,
+                          PacketLoss, SocCrash)
+
+
+def full_plan() -> FaultPlan:
+    return FaultPlan(faults=(
+        PacketLoss("net.client0", 0.01),
+        LinkDown("pcie1", start=1000.0, end=2000.0),
+        LinkFlap("net.server0", period=500.0, down_fraction=0.25),
+        NodeStall("soc", factor=4.0, start=100.0),
+        SocCrash(server="server0", at=5000.0, recover_at=9000.0),
+    ), seed=42)
+
+
+def test_empty_plan():
+    assert FaultPlan().empty
+    assert FaultPlan.packet_loss("net.client0", 0.0).empty
+    assert not FaultPlan.packet_loss("net.client0", 0.5).empty
+
+
+def test_round_trip_through_dict_and_json():
+    plan = full_plan()
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert FaultPlan.from_json(json.dumps(plan.to_dict())) == plan
+
+
+def test_from_file(tmp_path):
+    plan = full_plan()
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan.to_dict()))
+    assert FaultPlan.from_file(path) == plan
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.from_dict({"faults": [{"kind": "meteor-strike"}]})
+
+
+def test_with_faults_appends():
+    plan = FaultPlan.packet_loss("net.client0", 0.1, seed=3)
+    extended = plan.with_faults(SocCrash(at=100.0))
+    assert len(extended.faults) == 2
+    assert extended.seed == 3
+    assert plan != extended  # frozen dataclasses; originals untouched
+
+
+@pytest.mark.parametrize("bad", [-0.1, 1.5])
+def test_loss_rate_validated(bad):
+    with pytest.raises(ValueError):
+        PacketLoss("net.client0", bad)
+
+
+def test_stall_factor_validated():
+    with pytest.raises(ValueError):
+        NodeStall("soc", factor=0.5)
+
+
+def test_flap_parameters_validated():
+    with pytest.raises(ValueError):
+        LinkFlap("net.client0", period=0.0)
+    with pytest.raises(ValueError):
+        LinkFlap("net.client0", period=100.0, down_fraction=1.0)
+
+
+def test_crash_recovery_must_follow_crash():
+    with pytest.raises(ValueError):
+        SocCrash(at=100.0, recover_at=50.0)
+
+
+def test_windows():
+    loss = PacketLoss("net.client0", 0.5, start=100.0, end=200.0)
+    assert not loss.active(50.0)
+    assert loss.active(100.0)
+    assert loss.active(199.9)
+    assert not loss.active(200.0)
+    forever = LinkDown("net.client0", start=10.0)
+    assert forever.active(1e12)
+    assert not forever.active(9.9)
+
+
+def test_flap_phases():
+    flap = LinkFlap("net.client0", period=100.0, down_fraction=0.3,
+                    start=0.0)
+    assert flap.active(0.0)       # down phase first
+    assert flap.active(29.0)
+    assert not flap.active(30.0)  # up for the rest of the period
+    assert not flap.active(99.0)
+    assert flap.active(100.0)     # next period, down again

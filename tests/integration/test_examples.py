@@ -17,6 +17,9 @@ EXPECTED_OUTPUT = {
     "bulk_offload.py": ["doorbells", "Gbps"],
     "log_shipping.py": ["budget rule", "throttle waits"],
     "replicated_kv.py": ["path-3 budget", "lag mean us"],
+    "fault_tolerance.py": ["retransmits", "identical",
+                           "0 keys diverged from the primary",
+                           "degraded lag mean"],
 }
 
 

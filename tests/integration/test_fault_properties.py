@@ -1,0 +1,84 @@
+"""Property tests for the fault-injection subsystem.
+
+Two invariants the whole design rests on:
+
+1. *Pay-as-you-go*: installing an empty fault plan is bit-identical to
+   not installing one — same completions, same clock, same event count.
+2. *No lost verbs*: whatever drop rate an injector applies (below total
+   loss), every posted RC verb completes, either ``SUCCESS`` or — after
+   the QP wedges — ``RETRY_EXC_ERR`` / ``FLUSH_ERROR``.  Work never
+   silently vanishes.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.faults import FaultPlan
+from repro.net.cluster import SimCluster
+from repro.net.topology import paper_testbed
+from repro.rdma import RdmaContext
+from repro.rdma.opcodes import CompletionStatus
+
+_MAX_EXAMPLES = int(os.environ.get("FAULT_PROPERTY_EXAMPLES", "25"))
+
+_ACCOUNTED = {
+    CompletionStatus.SUCCESS,
+    CompletionStatus.RETRY_EXC_ERR,
+    CompletionStatus.FLUSH_ERROR,
+}
+
+
+def run_workload(plan=None, ops=8, payload=512):
+    """Post ``ops`` RC WRITEs client0->host; return (completions, cluster)."""
+    cluster = SimCluster(paper_testbed(), n_clients=1)
+    if plan is not None:
+        cluster.install_faults(plan)
+    ctx = RdmaContext(cluster)
+    local = ctx.reg_mr("client0", payload)
+    remote = ctx.reg_mr("host", payload * ops)
+    qp, _ = ctx.connect_rc("client0", "host")
+
+    def driver():
+        for i in range(ops):
+            yield qp.post_write(i + 1, local, remote, payload,
+                                remote_offset=i * payload)
+
+    cluster.sim.process(driver())
+    cluster.sim.run()
+    return qp.send_cq.poll(), cluster
+
+
+@settings(max_examples=_MAX_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_zero_fault_plan_is_bit_identical_to_no_injector(seed):
+    bare_comps, bare = run_workload(plan=None)
+    armed_comps, armed = run_workload(plan=FaultPlan(seed=seed))
+    assert [(c.wr_id, c.status, c.timestamp) for c in bare_comps] \
+        == [(c.wr_id, c.status, c.timestamp) for c in armed_comps]
+    assert bare.sim.now == armed.sim.now
+    assert bare.sim.events_executed == armed.sim.events_executed
+    assert armed.stats.get("faults.injected", 0.0) == 0.0
+
+
+@settings(max_examples=_MAX_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rate=st.floats(min_value=0.0, max_value=0.6,
+                      allow_nan=False, allow_infinity=False),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_every_posted_verb_completes_under_loss(rate, seed):
+    plan = FaultPlan.packet_loss("net.client0", rate, seed=seed)
+    completions, cluster = run_workload(plan=plan)
+    assert len(completions) == 8  # nothing vanished
+    statuses = {c.status for c in completions}
+    assert statuses <= _ACCOUNTED, statuses
+    # Ordering: once the QP wedges, no later verb may succeed.
+    saw_fatal = False
+    for completion in completions:
+        if completion.status is not CompletionStatus.SUCCESS:
+            saw_fatal = True
+        else:
+            assert not saw_fatal, "SUCCESS after a fatal completion"
+    if rate > 0.0 and cluster.stats.get("faults.injected", 0.0) > 0:
+        assert cluster.stats.get("rdma.retransmits", 0.0) > 0

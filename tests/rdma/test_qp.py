@@ -6,7 +6,6 @@ from repro.net.cluster import SimCluster
 from repro.net.topology import paper_testbed
 from repro.rdma import AccessError, QPError, QPType, RdmaContext
 from repro.rdma.opcodes import CompletionStatus, WorkOpcode
-from repro.rdma.qp import QueuePair
 
 
 @pytest.fixture()
@@ -107,7 +106,7 @@ def test_ud_send_recv(ctx):
     assert completion.byte_len == 8
     assert buf.read_local(100, 8) == b"datagram"
     # Sender can resolve the source for replies.
-    assert QueuePair.by_qpn(receiver.inbound_sources[0]) is sender
+    assert ctx.cluster.qp_by_qpn(receiver.inbound_sources[0]) is sender
 
 
 def test_ud_send_without_recv_is_dropped(ctx):
@@ -217,4 +216,25 @@ def test_post_recv_validation(ctx):
 
 def test_unknown_qpn(ctx):
     with pytest.raises(QPError):
-        QueuePair.by_qpn(999999)
+        ctx.cluster.qp_by_qpn(999999)
+
+
+def test_qpn_registry_is_scoped_per_cluster():
+    """Back-to-back simulations get identical QPNs and cannot observe
+    each other's QPs (the registry is per-cluster, not process-global)."""
+    first = RdmaContext(SimCluster(paper_testbed()))
+    qp_a = first.create_qp("client0", QPType.UD)
+    second = RdmaContext(SimCluster(paper_testbed()))
+    qp_b = second.create_qp("client0", QPType.UD)
+    assert qp_a.qpn == qp_b.qpn  # deterministic numbering per run
+    assert second.cluster.qp_by_qpn(qp_b.qpn) is qp_b
+    assert first.cluster.qp_by_qpn(qp_a.qpn) is qp_a
+
+
+def test_qp_on_unattached_node_raises_clear_error():
+    from repro.net.cluster import Node
+    from repro.rdma.qp import QueuePair
+
+    loose = Node("stray", "client", paper_testbed().client_cpu, 1024)
+    with pytest.raises(QPError, match="not attached to a cluster"):
+        QueuePair(loose, QPType.UD, None, None)

@@ -1,0 +1,205 @@
+"""Interrupting a process that waits on a Resource or Store.
+
+The interrupt must withdraw the pending request so that no capacity or
+item leaks: a queued resource request leaves the wait queue, a granted
+but never-consumed unit is released onward, a handed-out store item
+returns to the queue head, and a parked put is abandoned.
+"""
+
+import pytest
+
+from repro.sim import Interrupt, Resource, Simulator, Store
+
+
+def test_interrupt_waiting_resource_request_is_withdrawn():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(10)
+        res.release()
+
+    def victim():
+        req = res.request()
+        try:
+            yield req
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, sim.now))
+            return
+
+    def killer(proc):
+        yield sim.timeout(5)
+        proc.interrupt("cancelled")
+
+    def late():
+        yield sim.timeout(6)
+        req = res.request()
+        yield req
+        log.append(("granted", sim.now))
+        res.release()
+
+    sim.process(holder())
+    vic = sim.process(victim())
+    sim.process(killer(vic))
+    sim.process(late())
+    sim.run()
+    # The victim left the queue at t=5; the unit went from the holder
+    # (releases at t=10) straight to the late requester, not the victim.
+    assert ("interrupted", "cancelled", 5.0) in log
+    assert ("granted", 10.0) in log
+    assert res.in_use == 0
+    assert res.queue_length == 0
+
+
+def test_interrupt_granted_but_unconsumed_request_releases_the_unit():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def holder():
+        yield res.request()
+        yield sim.timeout(10)
+        res.release()  # hands the unit to the victim's queued request
+
+    def victim():
+        try:
+            yield res.request()
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+            return
+        log.append(("victim ran", sim.now))  # pragma: no cover
+
+    def killer(proc):
+        # Fires at the same instant as the release; the victim's grant
+        # has already succeeded but the victim has not resumed yet.
+        yield sim.timeout(10)
+        proc.interrupt()
+
+    sim.process(holder())
+    vic = sim.process(victim())
+    sim.process(killer(vic))
+    sim.run()
+    assert log == [("interrupted", 10.0)]
+    # The granted-but-unconsumed unit was returned, not leaked.
+    assert res.in_use == 0
+    assert res.queue_length == 0
+    grant = res.request()
+    assert grant.triggered
+
+
+def test_interrupt_waiting_store_get_is_withdrawn():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def victim():
+        try:
+            yield store.get()
+        except Interrupt:
+            log.append("interrupted")
+            return
+
+    def killer(proc):
+        yield sim.timeout(1)
+        proc.interrupt()
+
+    def producer():
+        yield sim.timeout(2)
+        store.put("item")
+
+    vic = sim.process(victim())
+    sim.process(killer(vic))
+    sim.process(producer())
+    sim.run()
+    # The withdrawn getter must not swallow the item.
+    assert log == ["interrupted"]
+    assert store.items == ("item",)
+    assert not store._getters
+
+
+def test_interrupt_get_after_handoff_requeues_the_item_at_the_head():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def victim():
+        try:
+            got = yield store.get()
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+            return
+        log.append(("got", got))  # pragma: no cover
+
+    def producer():
+        yield sim.timeout(5)
+        store.put("first")
+
+    def killer(proc):
+        # Same instant as the put: the item was handed to the victim's
+        # get event, but the victim has not consumed it yet.
+        yield sim.timeout(5)
+        proc.interrupt()
+
+    def successor():
+        yield sim.timeout(6)
+        got = yield store.get()
+        log.append(("successor got", got))
+
+    vic = sim.process(victim())
+    sim.process(producer())
+    sim.process(killer(vic))
+    sim.process(successor())
+    sim.run()
+    assert ("interrupted", 5.0) in log
+    assert ("successor got", "first") in log
+    assert len(store) == 0
+
+
+def test_interrupt_waiting_store_put_is_withdrawn():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put("occupant")
+    log = []
+
+    def victim():
+        try:
+            yield store.put("parked")
+        except Interrupt:
+            log.append("interrupted")
+            return
+
+    def killer(proc):
+        yield sim.timeout(1)
+        proc.interrupt()
+
+    def consumer():
+        yield sim.timeout(2)
+        got = yield store.get()
+        log.append(("got", got))
+
+    vic = sim.process(victim())
+    sim.process(killer(vic))
+    sim.process(consumer())
+    sim.run()
+    # The withdrawn put never lands: the consumer drains the occupant
+    # and the store ends empty.
+    assert log == ["interrupted", ("got", "occupant")]
+    assert len(store) == 0
+    assert not store._putters
+
+
+def test_interrupting_a_finished_process_raises():
+    sim = Simulator()
+
+    def noop():
+        return
+        yield  # pragma: no cover
+
+    proc = sim.process(noop())
+    sim.run()
+    from repro.sim import SimulationError
+    with pytest.raises(SimulationError):
+        proc.interrupt()
