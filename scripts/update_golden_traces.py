@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the golden span-tree JSONs under tests/trace/golden/.
+
+The ONLY sanctioned way to update the golden traces: run it, eyeball
+the diff (every changed number is a span-timing change on the simulated
+datapath), and commit the result together with whatever DES change
+caused it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/update_golden_traces.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+from tests.trace.golden_cases import (CASES, GOLDEN_DIR,  # noqa: E402
+                                      golden_file, render)
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for case in CASES:
+        text = render(case, seed=0)
+        if render(case, seed=7) != text:
+            print(f"error: {case.slug} is seed-dependent; refusing to "
+                  "write a non-deterministic golden", file=sys.stderr)
+            return 1
+        target = golden_file(case)
+        previous = None
+        if os.path.exists(target):
+            with open(target) as handle:
+                previous = handle.read()
+        with open(target, "w") as handle:
+            handle.write(text)
+        state = ("unchanged" if previous == text
+                 else "updated" if previous is not None else "created")
+        print(f"{state}: {os.path.relpath(target, REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

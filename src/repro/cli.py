@@ -11,6 +11,9 @@ Commands:
 * ``audit`` — run the anomaly detectors over flows described in JSON.
 * ``faults`` — goodput/latency of an RC verb stream under injected
   faults (``--fault-plan FILE`` or a ``--rates`` loss sweep).
+* ``trace`` — nanosecond span trace of one verb through the simulated
+  datapath; emits Chrome/Perfetto JSON, ``--report`` attribution
+  tables, or a ``--tree`` rendering (see docs/observability.md).
 * ``trace-gen`` / ``trace-solve`` — generate a JSONL request trace and
   solve its aggregate throughput.
 
@@ -48,6 +51,10 @@ from repro.workloads import (
 
 _PATHS = {p.value: p for p in CommPath}
 _PATHS.update({p.name.lower(): p for p in CommPath})
+# Bare figure-2 numbers as shorthand; "3" means the host->SoC direction
+# (use snic-3-s2h for the other one).
+_PATHS.update({"1": CommPath.SNIC1, "2": CommPath.SNIC2,
+               "3": CommPath.SNIC3_H2S})
 _OPS = {o.value: o for o in Opcode}
 
 
@@ -158,6 +165,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--op", choices=["read", "write"], default="write")
     p.add_argument("--json", action="store_true",
                    help="emit the raw rows as JSON instead of a table")
+
+    p = sub.add_parser("trace",
+                       help="span-trace one verb through the DES datapath")
+    p.add_argument("--path", type=_path, default=CommPath.SNIC1,
+                   help="communication path (accepts 1/2/3 shorthand; "
+                        "3 = host->SoC)")
+    p.add_argument("--verb", type=_op, default=Opcode.READ,
+                   help="read, write or send")
+    p.add_argument("--size", type=_parse_size, default="64",
+                   help="payload bytes (accepts 4K style suffixes)")
+    p.add_argument("--count", type=int, default=1,
+                   help="closed-loop verbs to trace")
+    p.add_argument("--seed", type=int, default=0,
+                   help="payload-content seed (timing is data-independent)")
+    p.add_argument("--report", action="store_true",
+                   help="print the latency-attribution tables instead of "
+                        "Chrome JSON")
+    p.add_argument("--tree", action="store_true",
+                   help="print the span tree(s) instead of Chrome JSON")
+    p.add_argument("--telemetry", action="store_true",
+                   help="snapshot hardware counters around each verb and "
+                        "attach the deltas")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the Chrome trace JSON to FILE (open in "
+                        "chrome://tracing or https://ui.perfetto.dev)")
 
     p = sub.add_parser("trace-gen", help="generate a JSONL request trace")
     p.add_argument("out", help="output path")
@@ -440,6 +472,34 @@ def _cmd_faults(args) -> str:
         table, title=title)
 
 
+def _cmd_trace(args) -> str:
+    from repro.trace import (attribution_report, chrome_trace_json,
+                             run_traced_verbs, span_tree_text,
+                             write_chrome_trace)
+
+    tracer = run_traced_verbs(args.path, args.verb, args.size,
+                              count=args.count, seed=args.seed,
+                              telemetry=args.telemetry)
+    parts = []
+    if args.out:
+        write_chrome_trace(tracer.traces, args.out)
+        parts.append(f"wrote {len(tracer)} traced verb(s) to {args.out} "
+                     "(open in chrome://tracing or https://ui.perfetto.dev)")
+    if args.tree:
+        parts.extend(span_tree_text(t.root) for t in tracer.traces)
+    if args.report:
+        parts.append(attribution_report(tracer.traces))
+    if args.telemetry and (args.tree or args.report):
+        last = tracer.last()
+        lines = ["counter deltas (last verb)"]
+        lines += [f"  {key}: {value:g}"
+                  for key, value in sorted((last.counters or {}).items())]
+        parts.append("\n".join(lines))
+    if not parts:
+        parts.append(chrome_trace_json(tracer.traces))
+    return "\n\n".join(parts)
+
+
 def _cmd_trace_gen(args) -> str:
     import random
 
@@ -489,6 +549,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "advise": _cmd_advise,
         "audit": _cmd_audit,
         "faults": _cmd_faults,
+        "trace": _cmd_trace,
         "trace-gen": _cmd_trace_gen,
         "trace-solve": _cmd_trace_solve,
     }

@@ -67,3 +67,18 @@ class MemorySubsystem:
         if self._served_by_llc(range_bytes):
             return self.llc.hit_latency
         return self.model.access_latency(op)
+
+    def span_attrs(self, op: str, nbytes: int) -> dict:
+        """Attribution attributes for a trace span touching this subsystem.
+
+        Identifies which of Fig 6's two access paths (LLC via DDIO, or
+        DRAM) served the access, so latency reports can split memory
+        annotations by destination.
+        """
+        range_bytes = float(max(nbytes, 1))
+        served = "llc" if self._served_by_llc(range_bytes) else "dram"
+        return {
+            "subsystem": self.name,
+            "served_by": served,
+            "access_ns": self.dma_access_latency(op, range_bytes),
+        }

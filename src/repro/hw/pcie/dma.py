@@ -91,11 +91,20 @@ class DmaEngine:
 
     def _traverse_header(self, route: Sequence[Hop], count: int = 1):
         """Move ``count`` header-only TLPs (read requests) across a route."""
+        tracer = self.sim.tracer
         for hop in route:
             if isinstance(hop, LinkHop):
                 last = None
                 for _ in range(count):
                     last = hop.link.send_tlp(0, forward=hop.forward)
+                if tracer is not None:
+                    channel = hop.link.channel
+                    simplex = channel.fwd if hop.forward else channel.rev
+                    tracer.point(f"pcie:{hop.link.name}", "pcie",
+                                 self.sim.now,
+                                 self.sim.now + simplex.last_delivery_delay(),
+                                 link=hop.link.name, tlps=count, bytes=0,
+                                 tlp_kind="read_request")
                 got = yield last
             else:
                 got = yield hop.switch.forward(hop.src, hop.dst,
@@ -110,7 +119,12 @@ class DmaEngine:
         """Posted write of ``nbytes`` along ``route``; fires at delivery."""
         if nbytes < 0:
             raise ValueError(f"negative DMA size: {nbytes}")
-        return self.sim.process(self._traverse(route, nbytes, mps))
+        gen = self._traverse(route, nbytes, mps)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            gen = tracer.wrap("dma_write", "dma", gen,
+                              bytes=nbytes, mps=mps, hops=len(route))
+        return self.sim.process(gen)
 
     def dma_read(self, route: Sequence[Hop], nbytes: int, mps: int) -> Process:
         """Non-posted read: request out along ``route``, data back.
@@ -130,4 +144,10 @@ class DmaEngine:
                 self._traverse(reverse_route(route), nbytes, mps))
             return returned
 
-        return self.sim.process(transaction())
+        gen = transaction()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            gen = tracer.wrap("dma_read", "dma", gen,
+                              bytes=nbytes, mps=mps, hops=len(route),
+                              read_requests=requests)
+        return self.sim.process(gen)

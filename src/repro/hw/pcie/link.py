@@ -53,10 +53,25 @@ class PCIeLink:
         transfer completes after one propagation delay with no TLPs.
         """
         if nbytes == 0:
-            return self.channel.send(0, forward=forward)
-        last: Event = None
-        for size in segment_sizes(nbytes, mps):
-            last = self.send_tlp(size, forward=forward)
+            last = self.channel.send(0, forward=forward)
+            tlps = 0
+        else:
+            last = None
+            tlps = 0
+            for size in segment_sizes(nbytes, mps):
+                last = self.send_tlp(size, forward=forward)
+                tlps += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # One span per traversal, not per TLP: delivery time of the
+            # last TLP is known at submission, so no event is added and
+            # the span starts at submission (gap-free under contention;
+            # queueing shows up as a longer span, not a hole).
+            simplex = self.channel.fwd if forward else self.channel.rev
+            tracer.point(f"pcie:{self.name}", "pcie", self.sim.now,
+                         self.sim.now + simplex.last_delivery_delay(),
+                         link=self.name, bytes=nbytes, tlps=tlps,
+                         direction="fwd" if forward else "rev")
         return last
 
     # -- counters (hardware-counter style) ---------------------------------------

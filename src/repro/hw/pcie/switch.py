@@ -72,4 +72,10 @@ class PCIeSwitch:
         dst_port.tlps_out.add(1)
         done = Event(self.sim)
         done.succeed(payload, delay=self.hop_latency)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.point(f"switch:{self.name}", "pcie", self.sim.now,
+                         self.sim.now + self.hop_latency,
+                         switch=self.name, src=src, dst=dst,
+                         payload=payload)
         return done

@@ -294,6 +294,20 @@ class SimCluster:
             return self.server_of(node).channel
         return self._channels[node.name]
 
+    def memory_subsystem_of(self, node: Node):
+        """The memory hierarchy behind a node's DMA endpoint.
+
+        ``None`` for clients (their memory is not a modelled DMA target);
+        used by the span tracer to attribute memory touches to the LLC
+        or DRAM access path.
+        """
+        if not node.on_server:
+            return None
+        server = self.server_of(node)
+        if server.snic is not None:
+            return server.snic.memory_of(node.endpoint)
+        return server.rnic.host_memory
+
     @property
     def server_channel(self) -> DuplexChannel:
         """Server 0's network channel (single-server convenience)."""

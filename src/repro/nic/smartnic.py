@@ -74,6 +74,16 @@ class SmartNIC:
         links = self.pcie_crossings_to(endpoint)
         return links * self.spec.link_latency_ns + self.spec.switch_hop_ns
 
+    def doorbell_latency(self, endpoint: Endpoint) -> float:
+        """MMIO doorbell cost (ns) from ``endpoint`` to the NIC cores.
+
+        Doorbells are posted writes: only half a fabric traversal is
+        latency-visible to the issuing CPU (the other half overlaps with
+        the NIC fetching the WQE).  This is the span the tracer labels
+        ``doorbell_mmio`` on path ③.
+        """
+        return 0.5 * self.crossing_latency(endpoint)
+
     # -- DES wiring ---------------------------------------------------------------------
 
     def instantiate(self, sim: "Simulator") -> "SmartNIC":

@@ -45,6 +45,11 @@ class CompletionQueue:
 
     def push(self, completion: Completion) -> None:
         """NIC-side: append a CQE (drops and counts on overflow)."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("cqe", "cq", wr_id=completion.wr_id,
+                           status=completion.status.value,
+                           byte_len=completion.byte_len)
         if len(self._entries) >= self.depth:
             self.overflows += 1
             return

@@ -52,12 +52,33 @@ class MemoryRegion:
         self._check_key(rkey)
         self._check(offset, len(data))
         self.buffer[offset:offset + len(data)] = data
+        self._trace_access("memory_write", "write", len(data))
 
     def dma_read(self, offset: int, length: int, rkey: int) -> bytes:
         """Inbound DMA read, rkey-checked."""
         self._check_key(rkey)
         self._check(offset, length)
-        return bytes(self.buffer[offset:offset + length])
+        data = bytes(self.buffer[offset:offset + length])
+        self._trace_access("memory_read", "read", length)
+        return data
+
+    def _trace_access(self, name: str, op: str, nbytes: int) -> None:
+        """Instant "memory" annotation: the moment bytes touch DRAM/LLC.
+
+        Zero-duration (the transfer time lives in the surrounding DMA
+        span), so it is excluded from the span-tiling invariant.
+        """
+        cluster = self.node.cluster
+        if cluster is None:
+            return
+        tracer = cluster.sim.tracer
+        if tracer is None:
+            return
+        attrs = {"node": self.node.name, "bytes": nbytes}
+        subsystem = cluster.memory_subsystem_of(self.node)
+        if subsystem is not None:
+            attrs.update(subsystem.span_attrs(op, nbytes))
+        tracer.instant(name, "memory", **attrs)
 
     # -- checks ---------------------------------------------------------------------
 

@@ -231,9 +231,11 @@ class QueuePair:
         if not self._admit_send(wr_id, WorkOpcode.READ):
             return self._flushed()
         rkey = remote_mr.rkey if rkey is None else rkey
-        return self.sim.process(self._run_one_sided(
+        gen = self._run_one_sided(
             WorkOpcode.READ, wr_id, local_mr, local_offset, remote_mr,
-            remote_offset, length, rkey, signaled, posting_delay))
+            remote_offset, length, rkey, signaled, posting_delay)
+        return self.sim.process(self._traced(gen, WorkOpcode.READ,
+                                             length, wr_id))
 
     def post_write(self, wr_id: int, local_mr: MemoryRegion,
                    remote_mr: MemoryRegion, length: int,
@@ -245,9 +247,11 @@ class QueuePair:
         if not self._admit_send(wr_id, WorkOpcode.WRITE):
             return self._flushed()
         rkey = remote_mr.rkey if rkey is None else rkey
-        return self.sim.process(self._run_one_sided(
+        gen = self._run_one_sided(
             WorkOpcode.WRITE, wr_id, local_mr, local_offset, remote_mr,
-            remote_offset, length, rkey, signaled, posting_delay))
+            remote_offset, length, rkey, signaled, posting_delay)
+        return self.sim.process(self._traced(gen, WorkOpcode.WRITE,
+                                             length, wr_id))
 
     def post_send(self, wr_id: int, data: bytes,
                   dest: Optional["QueuePair"] = None, signaled: bool = True,
@@ -263,8 +267,10 @@ class QueuePair:
             target = dest
         if not self._admit_send(wr_id, WorkOpcode.SEND):
             return self._flushed()
-        return self.sim.process(self._run_send(
-            wr_id, data, target, signaled, posting_delay))
+        gen = self._run_send(wr_id, data, target, signaled, posting_delay)
+        return self.sim.process(self._traced(gen, WorkOpcode.SEND,
+                                             len(data), wr_id,
+                                             responder=target.node))
 
     # -- checks -----------------------------------------------------------------------
 
@@ -294,6 +300,24 @@ class QueuePair:
             raise QPError(f"send queue full ({self.max_send_wr})")
         self.outstanding_sends += 1
         return True
+
+    def _traced(self, gen, opcode: WorkOpcode, nbytes: int, wr_id: int,
+                responder: Optional["Node"] = None):
+        """Wrap an execution generator in a root span when tracing.
+
+        A no-op pass-through (same generator object) on untraced runs,
+        so the event sequence is untouched.
+        """
+        tracer = self.sim.tracer
+        if tracer is None:
+            return gen
+        if responder is None:
+            responder = self._require_peer().node
+        return tracer.trace_verb(gen, requester=self.node,
+                                 responder=responder,
+                                 verb=opcode.name.lower(), payload=nbytes,
+                                 wr_id=wr_id, qpn=self.qpn,
+                                 qp_type=self.qp_type.value)
 
     def _flushed(self) -> Process:
         """A no-op process standing in for a flushed work request."""
@@ -360,7 +384,13 @@ class QueuePair:
                                    CompletionStatus.RNR_RETRY_EXC_ERR)
                     return
                 rnr_retries -= 1
+                tracer = self.sim.tracer
+                span = (tracer.begin("rnr_backoff", "rdma",
+                                     wait_ns=self.rnr_timer_ns)
+                        if tracer is not None else None)
                 yield self.sim.timeout(self.rnr_timer_ns)
+                if tracer is not None:
+                    tracer.end(span)
                 continue
             if outcome is LOST:
                 if transport_retries <= 0:
@@ -369,7 +399,13 @@ class QueuePair:
                     return
                 transport_retries -= 1
                 cluster.bump("rdma.retransmits")
+                tracer = self.sim.tracer
+                span = (tracer.begin("retry_backoff", "rdma",
+                                     wait_ns=timeout)
+                        if tracer is not None else None)
                 yield self.sim.timeout(timeout)
+                if tracer is not None:
+                    tracer.end(span)
                 timeout = min(timeout * 2, self.max_timeout_ns)
                 continue
             if self.state is QPState.ERROR:
@@ -388,7 +424,12 @@ class QueuePair:
                        posting_delay: Optional[float]):
         cluster = self.cluster
         peer = self._require_peer()
+        tracer = self.sim.tracer
+        span = (tracer.begin("post", "cpu", node=self.node.name)
+                if tracer is not None else None)
         yield self.sim.timeout(self._posting(posting_delay))
+        if tracer is not None:
+            tracer.end(span)
 
         requester, responder = self.node, peer.node
         # Path-3 semantics apply only within one server; host/SoC pairs
@@ -396,12 +437,18 @@ class QueuePair:
         intra = requester.same_server_as(responder)
 
         def attempt(psn):
+            tracer = self.sim.tracer
             # Retransmits re-enter the NIC pipeline, like the hardware.
             if intra:
                 yield from transport.server_nic_stage(cluster, requester)
             else:
+                span = (tracer.begin("nic_pipeline", "nic",
+                                     node=self.node.name)
+                        if tracer is not None else None)
                 yield self.sim.timeout(
                     transport.nic_pipeline_delay(cluster, self.node))
+                if tracer is not None:
+                    tracer.end(span)
             if intra:
                 outcome = yield from self._one_sided_intra(
                     opcode, local_mr, local_offset, remote_mr,
@@ -413,8 +460,13 @@ class QueuePair:
             if outcome is LOST:
                 return LOST
             if intra:
+                span = (tracer.begin("nic_pipeline", "nic",
+                                     node=self.node.name)
+                        if tracer is not None else None)
                 yield self.sim.timeout(
                     transport.nic_pipeline_delay(cluster, self.node))
+                if tracer is not None:
+                    tracer.end(span)
             return _OK
 
         yield from self._with_reliability(wr_id, opcode, length, signaled,
@@ -492,7 +544,13 @@ class QueuePair:
         remote_node = self.peer.node
         snic = cluster.server_of(local_node).snic
         crossing = snic.crossing_latency(local_node.endpoint)
-        yield self.sim.timeout(0.5 * crossing)  # doorbell to the NIC
+        tracer = self.sim.tracer
+        span = (tracer.begin("doorbell_mmio", "mmio",
+                             endpoint=local_node.endpoint.value)
+                if tracer is not None else None)
+        yield self.sim.timeout(snic.doorbell_latency(local_node.endpoint))
+        if tracer is not None:
+            tracer.end(span)
         if remote_node.crashed:
             return LOST
         if opcode is WorkOpcode.READ:
@@ -509,18 +567,33 @@ class QueuePair:
             if got is LOST:
                 return LOST
             self._apply_write(remote_mr, remote_offset, data, rkey, psn)
+        span = (tracer.begin("cqe_delivery", "mmio",
+                             endpoint=local_node.endpoint.value)
+                if tracer is not None else None)
         yield self.sim.timeout(crossing)  # CQE back to requester memory
+        if tracer is not None:
+            tracer.end(span)
         return None
 
     def _run_send(self, wr_id: int, data: bytes, target: "QueuePair",
                   signaled: bool, posting_delay: Optional[float]):
         cluster = self.cluster
+        tracer = self.sim.tracer
+        span = (tracer.begin("post", "cpu", node=self.node.name)
+                if tracer is not None else None)
         yield self.sim.timeout(self._posting(posting_delay))
+        if tracer is not None:
+            tracer.end(span)
         responder = target.node
 
         def attempt(psn):
+            tracer = self.sim.tracer
+            span = (tracer.begin("nic_pipeline", "nic", node=self.node.name)
+                    if tracer is not None else None)
             yield self.sim.timeout(
                 transport.nic_pipeline_delay(cluster, self.node))
+            if tracer is not None:
+                tracer.end(span)
             if self.node.same_server_as(responder):
                 got = yield from transport.intra_machine_transfer(
                     cluster, self.node, responder, len(data))

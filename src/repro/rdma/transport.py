@@ -28,19 +28,34 @@ def network_transfer(cluster: "SimCluster", src: "Node", dst: "Node",
                      payload: int):
     """Move a message between two nodes over the fabric (a process)."""
     wire = network_wire_bytes(payload, cluster)
+    tracer = cluster.sim.tracer
+    net = (tracer.begin("network", "net", src=src.name, dst=dst.name,
+                        payload=payload, wire_bytes=wire)
+           if tracer is not None else None)
     # Convention: forward = toward the switch on client links, toward
     # the server on server links.  A leg poisoned by a fault injector
     # resolves to LOST; the message then never reaches the second leg.
+    leg = (tracer.begin("wire", "wire", link=cluster.channel(src).name)
+           if tracer is not None else None)
     if src.kind == "client":
         got = yield cluster.channel(src).send(wire, forward=True)
     else:
         got = yield cluster.channel(src).send(wire, forward=False)
+    if tracer is not None:
+        tracer.end(leg)
     if got is LOST:
+        if tracer is not None:
+            tracer.end(net)
         return LOST
+    leg = (tracer.begin("wire", "wire", link=cluster.channel(dst).name)
+           if tracer is not None else None)
     if dst.kind == "client":
         got = yield cluster.channel(dst).send(wire, forward=False)
     else:
         got = yield cluster.channel(dst).send(wire, forward=True)
+    if tracer is not None:
+        tracer.end(leg)
+        tracer.end(net)
     if got is LOST:
         return LOST
     return payload
@@ -64,15 +79,26 @@ def server_nic_stage(cluster: "SimCluster", node: "Node" = None):
     server = (cluster.server_of(node) if node is not None
               else cluster.servers["server0"])
     service = server.service_ns
+    sim = cluster.sim
+    tracer = sim.tracer
+    span = (tracer.begin("nic_pipeline", "nic", server=server.name)
+            if tracer is not None else None)
+    submitted = sim.now
     grant = server.pipeline.request()
     yield grant
+    if span is not None:
+        # Time spent waiting for a free processing unit (queueing under
+        # load); the span itself stays gap-free for the tiling invariant.
+        span.attrs["queued_ns"] = sim.now - submitted
     try:
-        yield cluster.sim.timeout(service)
+        yield sim.timeout(service)
     finally:
         server.pipeline.release()
     remaining = server.cores.pipeline_ns - service
     if remaining > 0:
-        yield cluster.sim.timeout(remaining)
+        yield sim.timeout(remaining)
+    if tracer is not None:
+        tracer.end(span)
     return None
 
 

@@ -24,13 +24,17 @@ class Simulator:
     so simultaneous events are deterministic.
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_event_count")
+    __slots__ = ("_now", "_queue", "_seq", "_event_count", "tracer")
 
     def __init__(self):
         self._now: float = 0.0
         self._queue: list = []
         self._seq: int = 0
         self._event_count: int = 0
+        # Span tracer hook (repro.trace).  None on untraced runs; every
+        # instrumentation point guards with one ``is not None`` check,
+        # so tracing is pay-as-you-go and adds no simulation events.
+        self.tracer = None
 
     # -- clock ---------------------------------------------------------------
 

@@ -20,7 +20,8 @@ class Process(Event):
     The process event itself succeeds with the generator's return value.
     """
 
-    __slots__ = ("generator", "_waiting_on", "name", "_send", "_throw")
+    __slots__ = ("generator", "_waiting_on", "name", "_send", "_throw",
+                 "_trace_ctx")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -35,6 +36,14 @@ class Process(Event):
         self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Event = None
+        # Span-tracing context (repro.trace): the verb trace this
+        # process was spawned under, restored on every resume so spans
+        # land in the right tree even with many verbs in flight.
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.on_spawn(self)
+        else:
+            self._trace_ctx = None
         # Kick off the process at the current simulated instant.
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
@@ -69,6 +78,9 @@ class Process(Event):
     # -- engine plumbing --------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_resume(self)
         self._waiting_on = None
         try:
             if event._ok:

@@ -25,12 +25,21 @@ class CounterSnapshot:
     counters: Dict[str, float]
 
     def __sub__(self, earlier: "CounterSnapshot") -> "CounterDelta":
+        """Movement from ``earlier`` to this snapshot.
+
+        Handles asymmetric key sets — a counter absent from one side
+        reads as 0.0 there (counters appear mid-run, e.g. the first
+        retransmit creates ``rdma.retransmits``) — and keeps the delta
+        keys sorted regardless of which side contributed them.
+        """
         if earlier.timestamp > self.timestamp:
-            raise ValueError("snapshot order reversed")
-        deltas = {key: self.counters.get(key, 0.0) - value
-                  for key, value in earlier.counters.items()}
-        for key, value in self.counters.items():
-            deltas.setdefault(key, value)
+            raise ValueError(
+                f"snapshot order reversed: earlier taken at "
+                f"{earlier.timestamp} ns, later at {self.timestamp} ns")
+        keys = sorted(set(self.counters) | set(earlier.counters))
+        deltas = {key: (self.counters.get(key, 0.0)
+                        - earlier.counters.get(key, 0.0))
+                  for key in keys}
         return CounterDelta(elapsed_ns=self.timestamp - earlier.timestamp,
                             deltas=deltas)
 

@@ -1,0 +1,83 @@
+"""One-shot traced verb runs (the engine behind ``repro trace``).
+
+Builds the paper testbed as a live cluster, attaches a tracer, executes
+a closed loop of verbs on the requested path, and returns the tracer
+with its span trees.  Fault-free, single requester — the deterministic
+shape the golden traces pin down.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.core.paths import CommPath, Opcode
+from repro.net.cluster import SimCluster
+from repro.net.topology import Testbed, paper_testbed
+from repro.rdma.verbs import RdmaContext
+from repro.telemetry import Telemetry
+from repro.trace.tracer import Tracer
+from repro.units import KB
+
+#: (requester node, responder node) per communication path.
+PATH_NODES: Dict[CommPath, Tuple[str, str]] = {
+    CommPath.RNIC1: ("client0", "host"),
+    CommPath.SNIC1: ("client0", "host"),
+    CommPath.SNIC2: ("client0", "soc"),
+    CommPath.SNIC3_H2S: ("host", "soc"),
+    CommPath.SNIC3_S2H: ("soc", "host"),
+}
+
+
+def run_traced_verbs(path: CommPath, op: Opcode, payload: int,
+                     count: int = 1, seed: int = 0,
+                     testbed: Optional[Testbed] = None,
+                     telemetry: bool = False,
+                     tracer: Optional[Tracer] = None) -> Tracer:
+    """Execute ``count`` verbs on ``path`` under a tracer; returns it.
+
+    ``seed`` only randomizes the payload *contents* — span timing is
+    data-independent, which is exactly what the golden-trace suite
+    asserts by capturing under two seeds.
+    """
+    if payload < 0:
+        raise ValueError(f"negative payload: {payload}")
+    if count < 1:
+        raise ValueError(f"need at least one verb: {count}")
+    testbed = testbed or paper_testbed()
+    nic = "rnic" if path is CommPath.RNIC1 else "snic"
+    cluster = SimCluster(testbed, n_clients=1, nic=nic)
+    requester, responder = PATH_NODES[path]
+    ctx = RdmaContext(cluster)
+    region = max(payload, 64)
+    local = ctx.reg_mr(requester, max(region, min(count * region, 64 * KB)))
+    remote = ctx.reg_mr(responder, max(region, min(count * region, 64 * KB)))
+    qp, peer_qp = ctx.connect_rc(requester, responder)
+    if payload:
+        data = bytes(random.Random(seed).randrange(256)
+                     for _ in range(min(payload, 4096)))
+        local.write_local(0, data)
+    if op is Opcode.SEND:
+        for i in range(count):
+            peer_qp.post_recv(1000 + i, remote, 0, max(payload, 1))
+
+    if tracer is None:
+        tracer = Tracer(telemetry=Telemetry(cluster) if telemetry else None)
+    tracer.install(cluster)
+    sim = cluster.sim
+
+    def driver():
+        for i in range(count):
+            if op is Opcode.READ:
+                work = qp.post_read(i + 1, local, remote, payload)
+            elif op is Opcode.WRITE:
+                work = qp.post_write(i + 1, local, remote, payload)
+            else:
+                work = qp.post_send(i + 1,
+                                    local.read_local(0, payload))
+            yield work
+
+    sim.process(driver())
+    sim.run()
+    tracer.uninstall()
+    return tracer

@@ -1,0 +1,145 @@
+"""Latency attribution: where did the nanoseconds go.
+
+Aggregates span self-time by component over one or many traces, grouped
+the way the paper argues — per path (①/②/③) and per device (SmartNIC
+vs RNIC baseline) — so a path-③ verb can be *shown* spending its budget
+crossing PCIe1 twice, not just measured end to end.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.report import format_table
+from repro.trace.span import Span, VerbTrace
+
+#: Human-facing order of the span taxonomy in attribution tables.
+CATEGORY_ORDER = ("cpu", "mmio", "nic", "wire", "net", "pcie", "dma",
+                  "rdma", "memory", "cq", "verb")
+
+
+def _category_rank(category: str) -> int:
+    try:
+        return CATEGORY_ORDER.index(category)
+    except ValueError:
+        return len(CATEGORY_ORDER)
+
+
+def self_times_by_category(trace: VerbTrace) -> Dict[str, float]:
+    """ns of self-time per category over one trace (sums to the total)."""
+    out: Dict[str, float] = {}
+    for span in trace.spans():
+        if span.instant:
+            continue
+        out[span.category] = out.get(span.category, 0.0) + span.self_time()
+    return out
+
+
+def self_times_by_component(trace: VerbTrace) -> Dict[Tuple[str, str], float]:
+    """ns of self-time per (category, span name) over one trace."""
+    out: Dict[Tuple[str, str], float] = {}
+    for span in trace.spans():
+        if span.instant:
+            continue
+        key = (span.category, span.name)
+        out[key] = out.get(key, 0.0) + span.self_time()
+    return out
+
+
+def _merge(totals: Dict, extra: Dict) -> None:
+    for key, value in extra.items():
+        totals[key] = totals.get(key, 0.0) + value
+
+
+class Attribution:
+    """Aggregated component self-times over a set of traces."""
+
+    def __init__(self, traces: Iterable[VerbTrace]):
+        self.traces: List[VerbTrace] = list(traces)
+
+    @property
+    def total_ns(self) -> float:
+        return sum(trace.duration for trace in self.traces)
+
+    def by_category(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for trace in self.traces:
+            _merge(totals, self_times_by_category(trace))
+        return totals
+
+    def by_component(self) -> Dict[Tuple[str, str], float]:
+        totals: Dict[Tuple[str, str], float] = {}
+        for trace in self.traces:
+            _merge(totals, self_times_by_component(trace))
+        return totals
+
+    def by_path(self) -> "OrderedDict[str, Attribution]":
+        """Split the trace set per communication path id."""
+        groups: "OrderedDict[str, List[VerbTrace]]" = OrderedDict()
+        for trace in self.traces:
+            groups.setdefault(trace.meta.get("path", "?"), []).append(trace)
+        return OrderedDict((path, Attribution(traces))
+                           for path, traces in groups.items())
+
+    def by_device(self) -> "OrderedDict[str, Attribution]":
+        """Split the trace set per device (``snic`` vs ``rnic``)."""
+        groups: "OrderedDict[str, List[VerbTrace]]" = OrderedDict()
+        for trace in self.traces:
+            groups.setdefault(trace.meta.get("device", "?"), []).append(trace)
+        return OrderedDict((device, Attribution(traces))
+                           for device, traces in groups.items())
+
+    # -- tables ----------------------------------------------------------------------
+
+    def table(self, title: str = "latency attribution") -> str:
+        """component | ns | share — ranked by the span taxonomy."""
+        total = self.total_ns
+        rows = []
+        components = sorted(
+            self.by_component().items(),
+            key=lambda item: (_category_rank(item[0][0]), item[0][1]))
+        for (category, name), ns in components:
+            if ns <= 0:
+                continue
+            share = ns / total if total > 0 else 0.0
+            rows.append([category, name, f"{ns:.0f}", f"{share:.1%}"])
+        rows.append(["", "TOTAL", f"{total:.0f}", "100.0%"])
+        return format_table(["category", "component", "ns", "share"],
+                            rows, title=title)
+
+    def category_table(self, title: str = "attribution by category") -> str:
+        total = self.total_ns
+        rows = []
+        for category, ns in sorted(self.by_category().items(),
+                                   key=lambda kv: (_category_rank(kv[0]),
+                                                   kv[0])):
+            if ns <= 0:
+                continue
+            share = ns / total if total > 0 else 0.0
+            rows.append([category, f"{ns:.0f}", f"{share:.1%}"])
+        rows.append(["TOTAL", f"{total:.0f}", "100.0%"])
+        return format_table(["category", "ns", "share"], rows, title=title)
+
+
+def attribution_report(traces: Iterable[VerbTrace]) -> str:
+    """Per-path attribution tables (the ``repro trace --report`` body)."""
+    attribution = Attribution(traces)
+    parts = []
+    for path, group in attribution.by_path().items():
+        count = len(group.traces)
+        mean_us = group.total_ns / count / 1000.0 if count else 0.0
+        parts.append(group.table(
+            title=f"path {path}: {count} verb(s), mean {mean_us:.2f} us"))
+    return "\n\n".join(parts) if parts else "no traces recorded"
+
+
+def span_tree_text(span: Span, indent: int = 0) -> str:
+    """An ASCII rendering of one span tree (debugging aid)."""
+    pad = "  " * indent
+    line = (f"{pad}{span.name} [{span.category}] "
+            f"{span.start:.0f}..{span.end:.0f} (+{span.duration:.0f} ns)")
+    lines = [line]
+    for child in span.children:
+        lines.append(span_tree_text(child, indent + 1))
+    return "\n".join(lines)

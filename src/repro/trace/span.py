@@ -1,0 +1,145 @@
+"""Span trees: the unit of latency attribution.
+
+A :class:`Span` is one component traversal on the simulated datapath —
+a doorbell MMIO, a PCIe link crossing, a DMA transaction, wire time on
+the InfiniBand fabric — with nanosecond start/end stamps read from the
+simulation clock.  Spans nest: a verb's root span contains the posting
+span, the NIC pipeline spans, the DMA spans, and so on, and (on
+fault-free runs) the children of every span exactly tile their parent.
+A :class:`VerbTrace` is the tree for one work request plus its metadata
+(verb, payload, path, device).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Categories whose spans are instantaneous annotations (zero duration
+#: by construction): they mark *where* something happened on the
+#: timeline, not a stretch of time, and are excluded from tiling checks.
+INSTANT_CATEGORIES = frozenset({"memory", "cq"})
+
+
+class Span:
+    """One timed component traversal; a node of the span tree."""
+
+    __slots__ = ("name", "category", "start", "end", "attrs", "children")
+
+    def __init__(self, name: str, category: str, start: float,
+                 end: Optional[float] = None,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = end
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Span length in ns (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def instant(self) -> bool:
+        """True for zero-duration annotation spans (memory, CQE)."""
+        return self.category in INSTANT_CATEGORIES
+
+    def self_time(self) -> float:
+        """Duration not covered by child spans (the span's own cost)."""
+        covered = sum(child.duration for child in self.children
+                      if not child.instant)
+        return max(0.0, self.duration - covered)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A canonical JSON-ready form (used by the golden traces)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category,
+            "start_ns": self.start,
+            "end_ns": self.end,
+            "dur_ns": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = dict(sorted(self.attrs.items()))
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(data["name"], data["cat"], data["start_ns"],
+                   data["end_ns"], dict(data.get("attrs", {})))
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Span {self.name} [{self.category}] "
+                f"{self.start:.0f}..{self.end if self.end is None else round(self.end)} "
+                f"({len(self.children)} children)>")
+
+
+class VerbTrace:
+    """The span tree of one work request, plus posting metadata.
+
+    ``meta`` carries the attribution keys: ``verb``, ``payload``,
+    ``path`` (the Fig 2 path id, e.g. ``snic-3-h2s``), ``device``
+    (``snic``/``rnic``), ``requester`` and ``responder`` node names.
+    ``counters`` (optional) holds the nonzero telemetry counter deltas
+    over the verb's lifetime when the tracer was attached with a
+    :class:`~repro.telemetry.Telemetry` instance — spans and counter
+    movement on one timeline.
+    """
+
+    __slots__ = ("root", "meta", "stack", "counters")
+
+    def __init__(self, root: Span, meta: Dict[str, Any]):
+        self.root = root
+        self.meta = meta
+        #: Open spans, innermost last; ``stack[0]`` is the root.
+        self.stack: List[Span] = [root]
+        self.counters: Optional[Dict[str, float]] = None
+
+    @property
+    def duration(self) -> float:
+        """End-to-end latency of the verb in ns."""
+        return self.root.duration
+
+    def spans(self) -> Iterator[Span]:
+        return self.root.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "meta": dict(sorted(self.meta.items())),
+            "root": self.root.to_dict(),
+        }
+        if self.counters is not None:
+            out["counters"] = dict(sorted(self.counters.items()))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "VerbTrace":
+        trace = cls(Span.from_dict(data["root"]), dict(data["meta"]))
+        trace.counters = data.get("counters")
+        return trace
+
+    def to_json(self, indent: int = 2) -> str:
+        """Canonical serialization — bit-identical across runs/seeds."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerbTrace":
+        return cls.from_dict(json.loads(text))

@@ -20,6 +20,8 @@ EXPECTED_OUTPUT = {
     "fault_tolerance.py": ["retransmits", "identical",
                            "0 keys diverged from the primary",
                            "degraded lag mean"],
+    "span_tracing.py": ["span tree", "anomaly A2", "latency tax",
+                        "Chrome trace"],
 }
 
 

@@ -179,3 +179,50 @@ def test_trace_gen_validation(tmp_path, capsys):
 def test_trace_solve_missing_file(capsys):
     code, _out, err = run(capsys, "trace-solve", "/nonexistent.jsonl")
     assert code == 1
+
+
+def test_trace_command_emits_chrome_json(capsys):
+    code, out, _ = run(capsys, "trace", "--path", "3", "--verb", "write",
+                       "--size", "4096")
+    assert code == 0
+    doc = json.loads(out)
+    roots = [e for e in doc["traceEvents"]
+             if e.get("ph") == "X" and e["name"] == "write:snic-3-h2s"]
+    assert len(roots) == 1
+    # The root complete-event spans the whole verb, start to CQE.
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert roots[0]["dur"] == max(e["ts"] + e["dur"] for e in spans)
+
+
+def test_trace_command_numeric_path_shorthand(capsys):
+    code, out, _ = run(capsys, "trace", "--path", "1", "--verb", "read")
+    assert code == 0
+    assert "read:snic-1" in out
+
+
+def test_trace_command_report_and_tree(capsys):
+    code, out, _ = run(capsys, "trace", "--path", "snic2", "--verb",
+                       "write", "--size", "1K", "--report", "--tree",
+                       "--telemetry")
+    assert code == 0
+    assert "path snic-2" in out and "TOTAL" in out
+    assert "write:snic-2" in out  # tree rendering
+    assert "counter deltas" in out and "pcie1" in out
+
+
+def test_trace_command_writes_file(tmp_path, capsys):
+    target = tmp_path / "spans.json"
+    code, out, _ = run(capsys, "trace", "--path", "rnic-1", "--verb",
+                       "read", "--count", "2", "--out", str(target))
+    assert code == 0
+    assert "perfetto" in out
+    doc = json.loads(target.read_text())
+    threads = [e for e in doc["traceEvents"]
+               if e.get("ph") == "M" and e["name"] == "thread_name"]
+    assert len(threads) == 2
+
+
+def test_trace_command_rejects_bad_count(capsys):
+    code, _out, err = run(capsys, "trace", "--count", "0")
+    assert code == 1
+    assert "error" in err

@@ -90,3 +90,40 @@ def test_zero_window_rates_are_zero():
     snap = CounterSnapshot(timestamp=5.0, counters={"x": 3})
     delta = snap - CounterSnapshot(timestamp=5.0, counters={"x": 1})
     assert delta.rate("x") == 0.0
+
+
+def test_delta_with_counter_appearing_mid_run():
+    # Counters like rdma.retransmits only exist after the first fault:
+    # a key present only in the later snapshot must read as its value.
+    before = CounterSnapshot(timestamp=0.0, counters={"a": 5.0})
+    after = CounterSnapshot(timestamp=10.0,
+                            counters={"a": 7.0, "rdma.retransmits": 3.0})
+    delta = after - before
+    assert delta.deltas == {"a": 2.0, "rdma.retransmits": 3.0}
+
+
+def test_delta_with_counter_disappearing_mid_run():
+    # A key present only in the earlier snapshot reads as a negative
+    # movement, not a KeyError and not a silent drop.
+    before = CounterSnapshot(timestamp=0.0, counters={"a": 5.0, "gone": 4.0})
+    after = CounterSnapshot(timestamp=10.0, counters={"a": 5.0})
+    delta = after - before
+    assert delta.deltas == {"a": 0.0, "gone": -4.0}
+
+
+def test_delta_keys_are_sorted_regardless_of_origin():
+    before = CounterSnapshot(timestamp=0.0, counters={"z": 1.0, "m": 1.0})
+    after = CounterSnapshot(timestamp=1.0, counters={"a": 2.0, "m": 3.0})
+    delta = after - before
+    assert list(delta.deltas) == ["a", "m", "z"]
+    assert delta.deltas == {"a": 2.0, "m": 2.0, "z": -1.0}
+
+
+def test_reversed_snapshot_order_error_names_both_timestamps():
+    first = CounterSnapshot(timestamp=1.0, counters={})
+    second = CounterSnapshot(timestamp=9.0, counters={})
+    with pytest.raises(ValueError, match=r"9.*1|reversed"):
+        _ = first - second
+    # Equal timestamps are a legal (zero-width) window, not an error.
+    assert (first - CounterSnapshot(timestamp=1.0,
+                                    counters={})).elapsed_ns == 0.0

@@ -1,0 +1,45 @@
+"""The canonical golden-trace cases, shared by the regression test and
+``scripts/update_golden_traces.py``.
+
+One verb per numbered path of Fig 2 plus the RNIC path-① baseline.
+``render()`` is the single definition of the canonical serialization;
+anything that changes its output must regenerate the golden files (and
+thereby show up in review as a span-timing diff).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import NamedTuple
+
+from repro.core.paths import CommPath, Opcode
+
+#: Directory holding the checked-in golden span trees.
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+class GoldenCase(NamedTuple):
+    slug: str
+    path: CommPath
+    op: Opcode
+    payload: int
+
+
+CASES = (
+    GoldenCase("rnic-1-write-4k", CommPath.RNIC1, Opcode.WRITE, 4096),
+    GoldenCase("snic-1-write-4k", CommPath.SNIC1, Opcode.WRITE, 4096),
+    GoldenCase("snic-2-write-4k", CommPath.SNIC2, Opcode.WRITE, 4096),
+    GoldenCase("snic-3-h2s-write-4k", CommPath.SNIC3_H2S, Opcode.WRITE, 4096),
+)
+
+
+def golden_file(case: GoldenCase) -> str:
+    return os.path.join(GOLDEN_DIR, f"{case.slug}.json")
+
+
+def render(case: GoldenCase, seed: int = 0) -> str:
+    """The canonical JSON a case's span tree serializes to."""
+    from repro.trace import run_traced_verbs
+
+    tracer = run_traced_verbs(case.path, case.op, case.payload, seed=seed)
+    return tracer.last().to_json() + "\n"

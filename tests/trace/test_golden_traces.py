@@ -1,0 +1,64 @@
+"""Golden-trace regression suite.
+
+Each case pins the complete span tree — every component traversal with
+its exact nanosecond stamps — of one verb on one path.  Any change to
+the DES datapath's event sequence or to the tracer's serialization
+shows up here as a byte-level diff against the checked-in JSON.
+
+The goldens are regenerated ONLY via::
+
+    PYTHONPATH=src python scripts/update_golden_traces.py
+
+so a timing change is always an explicit, reviewable commit.
+"""
+
+import json
+
+import pytest
+
+from repro.trace import VerbTrace
+
+from tests.trace.golden_cases import CASES, golden_file, render
+
+IDS = [case.slug for case in CASES]
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_trace_matches_golden(case):
+    with open(golden_file(case)) as handle:
+        expected = handle.read()
+    assert render(case, seed=0) == expected, (
+        f"{case.slug}: span tree drifted from the golden file; if the "
+        "timing change is intentional, regenerate with "
+        "scripts/update_golden_traces.py")
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_trace_is_bit_identical_across_runs(case):
+    assert render(case, seed=0) == render(case, seed=0)
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_trace_is_bit_identical_across_seeds(case):
+    # The seed randomizes payload *contents* only; span timing is
+    # data-independent.
+    assert render(case, seed=0) == render(case, seed=7)
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_golden_roundtrips_through_verbtrace(case):
+    with open(golden_file(case)) as handle:
+        text = handle.read()
+    trace = VerbTrace.from_json(text)
+    assert trace.to_json() + "\n" == text
+    assert trace.meta["verb"] == case.op.value
+    assert trace.meta["payload"] == case.payload
+    assert trace.meta["path"] == case.path.value
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_golden_is_canonical_json(case):
+    with open(golden_file(case)) as handle:
+        text = handle.read()
+    data = json.loads(text)
+    assert json.dumps(data, indent=2, sort_keys=True) + "\n" == text

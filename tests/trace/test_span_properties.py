@@ -1,0 +1,94 @@
+"""Hypothesis properties of the span trees.
+
+The two structural invariants the tracer guarantees on fault-free runs:
+
+* **Conservation / tiling** — the non-instant children of every span
+  are contiguous and exactly cover their parent: no gaps, no overlaps,
+  no dangling time.  Summing leaf self-times therefore reproduces the
+  end-to-end latency bit-for-bit.
+* **Model agreement** — the root span equals the DES end-to-end
+  latency, which the analytic :class:`~repro.core.latency.LatencyModel`
+  already cross-checks within 15 % (tests/integration/test_des_vs_model
+  pins that tolerance); here the *root span* must satisfy the same
+  bound, proving the tracer observes the run it claims to.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LatencyModel
+from repro.core.paths import CommPath, Opcode
+from repro.net.topology import paper_testbed
+from repro.trace import INSTANT_CATEGORIES, run_traced_verbs
+
+TOL_NS = 1e-6
+
+PATHS = st.sampled_from(list(CommPath))
+OPS = st.sampled_from([Opcode.READ, Opcode.WRITE, Opcode.SEND])
+PAYLOADS = st.sampled_from([0, 1, 64, 257, 4096, 16384])
+
+COMMON = dict(deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+def assert_tiles(span):
+    """Non-instant children are contiguous and exactly cover ``span``."""
+    assert span.closed
+    assert span.end >= span.start
+    kids = [c for c in span.children if c.category not in INSTANT_CATEGORIES]
+    if kids:
+        cursor = span.start
+        for child in kids:
+            assert child.start == pytest.approx(cursor, abs=TOL_NS), (
+                f"gap/overlap before {child.name} in {span.name}")
+            cursor = child.end
+        assert cursor == pytest.approx(span.end, abs=TOL_NS), (
+            f"tail gap after last child of {span.name}")
+    for instant in span.children:
+        if instant.category in INSTANT_CATEGORIES:
+            assert instant.start == instant.end
+            assert span.start <= instant.start <= span.end
+    for child in kids:
+        assert_tiles(child)
+
+
+@settings(max_examples=25, **COMMON)
+@given(path=PATHS, op=OPS, payload=PAYLOADS)
+def test_children_tile_parent_without_gaps_or_overlaps(path, op, payload):
+    tracer = run_traced_verbs(path, op, payload)
+    trace = tracer.last()
+    assert_tiles(trace.root)
+
+
+@settings(max_examples=25, **COMMON)
+@given(path=PATHS, op=OPS, payload=PAYLOADS)
+def test_leaf_self_times_sum_to_root_duration(path, op, payload):
+    tracer = run_traced_verbs(path, op, payload)
+    trace = tracer.last()
+    total = sum(span.self_time() for span in trace.spans()
+                if not span.instant)
+    assert total == pytest.approx(trace.root.duration, abs=1e-6)
+
+
+@settings(max_examples=20, **COMMON)
+@given(path=PATHS, op=st.sampled_from([Opcode.READ, Opcode.WRITE]),
+       payload=st.sampled_from([64, 4096]))
+def test_root_span_matches_analytic_model_within_tolerance(path, op, payload):
+    tracer = run_traced_verbs(path, op, payload)
+    root = tracer.last().root
+    model = LatencyModel(paper_testbed()).latency(path, op, payload).total
+    assert root.duration == pytest.approx(model, rel=0.15)
+
+
+@settings(max_examples=10, **COMMON)
+@given(path=PATHS, op=OPS, payload=st.sampled_from([64, 4096]),
+       count=st.integers(min_value=2, max_value=4))
+def test_every_trace_of_a_closed_loop_tiles(path, op, payload, count):
+    tracer = run_traced_verbs(path, op, payload, count=count)
+    assert len(tracer) == count
+    for trace in tracer.traces:
+        assert_tiles(trace.root)
+    # Closed loop: verb i+1 posts after verb i completes.
+    for earlier, later in zip(tracer.traces, tracer.traces[1:]):
+        assert later.root.start >= earlier.root.end

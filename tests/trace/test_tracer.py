@@ -1,0 +1,213 @@
+"""Unit tests for the tracer, span trees, attribution and export."""
+
+import json
+
+import pytest
+
+from repro.core.paths import CommPath, Opcode
+from repro.net.cluster import SimCluster
+from repro.net.topology import paper_testbed
+from repro.trace import (Attribution, Span, Tracer, attribution_report,
+                         chrome_trace, chrome_trace_json, classify_path,
+                         run_traced_verbs, span_tree_text, write_chrome_trace)
+
+
+def make_cluster(nic="snic", n_clients=2):
+    return SimCluster(paper_testbed(), n_clients=n_clients, nic=nic)
+
+
+# -- Span mechanics -----------------------------------------------------------
+
+
+def test_span_self_time_excludes_covered_children_and_instants():
+    root = Span("verb", "verb", 0.0, 100.0)
+    child = Span("dma", "dma", 10.0, 60.0)
+    note = Span("memory_write", "memory", 60.0, 60.0)
+    root.children = [child, note]
+    assert note.instant and not child.instant
+    assert root.self_time() == 50.0
+    assert child.self_time() == 50.0
+
+
+def test_span_roundtrip_through_dict():
+    span = Span("pcie:x", "pcie", 1.5, 4.25, attrs={"bytes": 64, "tlps": 1})
+    span.children.append(Span("inner", "nic", 2.0, 3.0))
+    clone = Span.from_dict(span.to_dict())
+    assert clone.to_dict() == span.to_dict()
+    assert [c.name for c in clone.children] == ["inner"]
+
+
+def test_walk_is_depth_first():
+    root = Span("a", "verb", 0, 3)
+    b, c = Span("b", "nic", 0, 2), Span("c", "nic", 2, 3)
+    b.children.append(Span("d", "pcie", 0, 1))
+    root.children = [b, c]
+    assert [s.name for s in root.walk()] == ["a", "b", "d", "c"]
+
+
+# -- Tracer emission rules ----------------------------------------------------
+
+
+def test_begin_outside_a_traced_verb_records_nothing():
+    cluster = make_cluster()
+    tracer = Tracer().install(cluster)
+    assert tracer.begin("x", "nic") is None
+    tracer.end(None)  # tolerated
+    assert tracer.instant("y", "memory") is None
+    assert len(tracer) == 0
+
+
+def test_end_closes_dangling_children():
+    tracer = run_traced_verbs(CommPath.SNIC1, Opcode.WRITE, 64)
+    trace = tracer.last()
+    # The run closed cleanly: only the root remains on the stack and
+    # every span is closed.
+    assert trace.stack == [trace.root]
+    assert all(span.closed for span in trace.spans())
+
+
+def test_last_on_empty_tracer_raises():
+    from repro.trace import TraceError
+
+    with pytest.raises(TraceError):
+        Tracer().last()
+
+
+def test_clear_drops_traces():
+    tracer = run_traced_verbs(CommPath.SNIC1, Opcode.READ, 64, count=2)
+    assert len(tracer) == 2
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_uninstalled_tracer_allows_reuse_of_cluster():
+    cluster = make_cluster()
+    tracer = Tracer().install(cluster)
+    tracer.uninstall()
+    other = Tracer().install(cluster)
+    assert cluster.sim.tracer is other
+
+
+# -- path classification ------------------------------------------------------
+
+
+def test_classify_paths():
+    cluster = make_cluster()
+    host = cluster.node("host")
+    soc = cluster.node("soc")
+    client = cluster.node("client0")
+    assert classify_path(cluster, client, host) == "snic-1"
+    assert classify_path(cluster, client, soc) == "snic-2"
+    assert classify_path(cluster, host, soc) == "snic-3-h2s"
+    assert classify_path(cluster, soc, host) == "snic-3-s2h"
+    assert classify_path(cluster, host, client) == "network"
+    assert classify_path(cluster, client, cluster.node("client1")) == "network"
+
+
+def test_classify_rnic_baseline():
+    cluster = make_cluster(nic="rnic")
+    assert classify_path(cluster, cluster.node("client0"),
+                         cluster.node("host")) == "rnic-1"
+
+
+# -- attribution --------------------------------------------------------------
+
+
+def test_attribution_sums_to_total():
+    tracer = run_traced_verbs(CommPath.SNIC3_H2S, Opcode.WRITE, 4096)
+    attribution = Attribution(tracer.traces)
+    by_cat = attribution.by_category()
+    assert sum(by_cat.values()) == pytest.approx(attribution.total_ns)
+    assert by_cat.get("pcie", 0) > 0  # the internal fabric shows up
+    table = attribution.table()
+    assert "TOTAL" in table and "100.0%" in table
+
+
+def test_path3_attribution_shows_double_pcie1():
+    """Anomaly A2: a H2S transfer crosses PCIe1 twice (once per DMA leg)."""
+    tracer = run_traced_verbs(CommPath.SNIC3_H2S, Opcode.WRITE, 4096)
+    pcie1_spans = [s for s in tracer.last().spans()
+                   if s.name.endswith("pcie1")]
+    assert len(pcie1_spans) >= 2
+    dma_spans = [s for s in tracer.last().spans() if s.category == "dma"]
+    assert {s.name for s in dma_spans} == {"dma_read", "dma_write"}
+
+
+def test_attribution_groups_by_path_and_device():
+    snic = run_traced_verbs(CommPath.SNIC1, Opcode.READ, 64)
+    rnic = run_traced_verbs(CommPath.RNIC1, Opcode.READ, 64)
+    attribution = Attribution(snic.traces + rnic.traces)
+    assert set(attribution.by_path()) == {"snic-1", "rnic-1"}
+    devices = attribution.by_device()
+    assert set(devices) == {"snic", "rnic"}
+    # The SmartNIC's extra switch hop + PCIe1 leg is the latency tax.
+    assert devices["snic"].total_ns > devices["rnic"].total_ns
+    report = attribution_report(snic.traces + rnic.traces)
+    assert "path snic-1" in report and "path rnic-1" in report
+
+
+def test_span_tree_text_renders_every_span():
+    tracer = run_traced_verbs(CommPath.SNIC2, Opcode.READ, 256)
+    text = span_tree_text(tracer.last().root)
+    for span in tracer.last().spans():
+        assert span.name in text
+
+
+# -- chrome export ------------------------------------------------------------
+
+
+def test_chrome_trace_structure():
+    tracer = run_traced_verbs(CommPath.SNIC1, Opcode.WRITE, 4096, count=2)
+    doc = chrome_trace(tracer.traces)
+    events = doc["traceEvents"]
+    assert events[0] == {"name": "process_name", "ph": "M", "pid": 1,
+                         "args": {"name": "repro-sim"}}
+    xs = [e for e in events if e["ph"] == "X"]
+    assert {e["tid"] for e in xs} == {1, 2}
+    spans = sum(1 for t in tracer.traces for _ in t.spans())
+    assert len(xs) == spans
+    root_events = [e for e in xs if e["name"].startswith("write:")]
+    for event, trace in zip(root_events, tracer.traces):
+        assert event["ts"] == trace.root.start / 1000.0
+        assert event["dur"] == trace.root.duration / 1000.0
+        assert event["args"]["dur_ns"] == trace.root.duration
+
+
+def test_chrome_trace_counter_events_need_telemetry():
+    plain = run_traced_verbs(CommPath.SNIC1, Opcode.WRITE, 64)
+    assert not [e for e in chrome_trace(plain.traces)["traceEvents"]
+                if e["ph"] == "C"]
+    with_counters = run_traced_verbs(CommPath.SNIC1, Opcode.WRITE, 64,
+                                     telemetry=True)
+    counter_events = [e for e in chrome_trace(with_counters.traces)
+                      ["traceEvents"] if e["ph"] == "C"]
+    assert counter_events
+    assert all(e["cat"] == "counter" for e in counter_events)
+
+
+def test_chrome_trace_json_is_valid_and_writable(tmp_path):
+    tracer = run_traced_verbs(CommPath.SNIC2, Opcode.SEND, 128)
+    text = chrome_trace_json(tracer.traces)
+    json.loads(text)
+    target = tmp_path / "trace.json"
+    write_chrome_trace(tracer.traces, str(target))
+    assert json.loads(target.read_text())["otherData"]["generator"] == \
+        "repro.trace"
+
+
+# -- telemetry integration ----------------------------------------------------
+
+
+def test_traced_verb_captures_nonzero_counter_deltas():
+    tracer = run_traced_verbs(CommPath.SNIC2, Opcode.WRITE, 4096,
+                              telemetry=True)
+    counters = tracer.last().counters
+    assert counters
+    # 4 KB to the SoC at 128 B MTU: 32 data TLPs over PCIe1.
+    assert counters["pcie1.tlps_to_nic"] == 32
+    assert all(value != 0 for value in counters.values())
+
+
+def test_untelemetered_trace_has_no_counters():
+    tracer = run_traced_verbs(CommPath.SNIC1, Opcode.READ, 64)
+    assert tracer.last().counters is None
