@@ -9,7 +9,7 @@ host side for batches 16/32/48 (Advice #4).
 
 import pytest
 
-from repro.core.bench import ThroughputBench
+from repro.core.harness import ThroughputBench
 from repro.core.latency import LatencyModel
 from repro.core.paths import CommPath, Opcode
 from repro.core.report import format_table

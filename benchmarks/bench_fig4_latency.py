@@ -6,7 +6,7 @@ paper's relative bands (SNIC ① pays 15-30 % on READ, 15-21 % on WRITE,
 6-9 % on SEND; SNIC ② READ sits below SNIC ① but above RNIC ①).
 """
 
-from repro.core.bench import LatencyBench
+from repro.core.harness import LatencyBench
 from repro.core.latency import LatencyModel
 from repro.core.paths import CommPath, Opcode
 from repro.core.report import format_table

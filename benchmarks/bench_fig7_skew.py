@@ -12,7 +12,7 @@ two requesters; we match that setup.
 
 import pytest
 
-from repro.core.bench import ThroughputBench
+from repro.core.harness import ThroughputBench
 from repro.core.paths import CommPath, Opcode
 from repro.core.report import format_table
 from repro.units import KB, fmt_size

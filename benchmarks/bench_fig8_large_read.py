@@ -9,7 +9,7 @@ and the host path stay network-bound (~46.7 Mpps at 512 B TLPs).
 
 import pytest
 
-from repro.core.bench import ThroughputBench
+from repro.core.harness import ThroughputBench
 from repro.core.paths import CommPath, Opcode
 from repro.core.report import format_table
 from repro.units import MB, fmt_size

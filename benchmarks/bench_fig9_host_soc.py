@@ -9,7 +9,7 @@ and S2H collapsing earlier than H2S.
 
 import pytest
 
-from repro.core.bench import ThroughputBench
+from repro.core.harness import ThroughputBench
 from repro.core.paths import CommPath, Opcode
 from repro.core.report import format_table
 from repro.units import KB, MB, fmt_size

@@ -32,7 +32,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.core.batch import BatchSolver, numpy_available    # noqa: E402
-from repro.core.bench import LatencyBench, ThroughputBench   # noqa: E402
+from repro.core.harness import LatencyBench, ThroughputBench   # noqa: E402
 from repro.faults.bench import faulted_sweep                 # noqa: E402
 from repro.core.cache import clear_all, registered_caches    # noqa: E402
 from repro.core.paths import CommPath, Opcode                # noqa: E402

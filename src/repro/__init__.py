@@ -9,12 +9,17 @@ anomaly detectors and the offloading advisor.
 
 Typical entry points::
 
+    from repro import Session          # the one-object facade
     from repro import paper_testbed, Flow, CommPath, Opcode, ThroughputSolver
     from repro.core import LatencyModel, Advisor
     from repro.net.cluster import SimCluster
     from repro.rdma import RdmaContext
+
+:class:`Session` (also at :mod:`repro.api`) is the stable public
+surface — see docs/api.md.
 """
 
+from repro.api import RunOptions, Session
 from repro.core.paths import CommPath, Opcode
 from repro.core.throughput import Flow, Scenario, SolverResult, ThroughputSolver
 from repro.core.latency import LatencyModel
@@ -27,6 +32,8 @@ from repro.net.topology import Testbed, paper_testbed
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "RunOptions",
     "CommPath",
     "Opcode",
     "Flow",

@@ -127,15 +127,57 @@ class GetStats:
 
 
 class OneSidedKVClient:
-    """Fig 1(a): gets via one-sided READs — index READ, then value READ."""
+    """Fig 1(a): gets via one-sided READs — index READ, then value READ.
 
-    def __init__(self, ctx: RdmaContext, client_name: str, server: KVServer):
+    **Scheduler-managed mode**: pass ``lease=`` (a
+    :class:`~repro.sched.runtime.PathLease`, duck-typed — anything with
+    ``responder`` and ``generation``) plus ``replicas=`` mapping node
+    names to :class:`KVServer` replicas.  Each ``get`` resolves the
+    server from the lease's current responder and transparently
+    reconnects its RC flow when the scheduler bumps the lease
+    generation (a migration or failover).  Without a lease the client
+    is the original fixed-server implementation.
+    """
+
+    def __init__(self, ctx: RdmaContext, client_name: str,
+                 server: Optional[KVServer] = None, lease=None,
+                 replicas: Optional[Dict[str, KVServer]] = None):
+        if (lease is None) == (server is None):
+            raise ValueError("pass either server= or lease=+replicas=")
+        if lease is not None and not replicas:
+            raise ValueError("scheduler-managed mode needs replicas=")
         self.ctx = ctx
-        self.server = server
-        self.qp, _ = ctx.connect_rc(client_name, server.node_name)
+        self.client_name = client_name
+        self.lease = lease
+        self.replicas = replicas or {}
+        if lease is None:
+            self.server = server
+        else:
+            self.server = self._replica()
+        self.qp, _ = ctx.connect_rc(client_name, self.server.node_name)
+        self._generation = getattr(lease, "generation", 0)
         self.scratch = ctx.reg_mr(client_name, 1 << 16)
         self.stats = GetStats()
+        self.reconnects = 0
         self._wr = 0
+
+    def _replica(self) -> KVServer:
+        try:
+            return self.replicas[self.lease.responder]
+        except KeyError:
+            raise ValueError(
+                f"no replica on {self.lease.responder!r}; have "
+                f"{sorted(self.replicas)}") from None
+
+    def _refresh(self) -> None:
+        """Follow the lease: reconnect if the scheduler moved the flow."""
+        if self.lease is None or self.lease.generation == self._generation:
+            return
+        self.server = self._replica()
+        self.qp, _ = self.ctx.connect_rc(self.client_name,
+                                         self.server.node_name)
+        self._generation = self.lease.generation
+        self.reconnects += 1
 
     def get(self, key: bytes) -> Generator:
         """A process generator: yields until the value is local.
@@ -143,6 +185,7 @@ class OneSidedKVClient:
         Returns the value bytes (or ``None`` on miss).  Run it with
         ``cluster.sim.process(client.get(key))``.
         """
+        self._refresh()
         sim = self.qp.sim
         start = sim.now
         bucket = self.server.bucket_of(key)

@@ -59,12 +59,15 @@ class TokenBucket:
             self._tokens -= nbytes
             return 0.0
         deficit = nbytes - self._tokens
-        wait = deficit / self.rate
         # The consumption completes after the wait; account the refill
-        # up to that instant as spent.
+        # up to that instant as spent.  ``_last`` may already sit in the
+        # future (reservations by concurrent callers) — the returned wait
+        # covers that backlog too, so N processes sharing one bucket are
+        # collectively paced at ``rate`` instead of each seeing only the
+        # marginal deficit.
         self._tokens = 0.0
-        self._last += wait
-        return wait
+        self._last += deficit / self.rate
+        return self._last - now
 
 
 class LogShipper:

@@ -91,21 +91,44 @@ class RpcClient:
     implementation with no extra simulation events.
     """
 
-    def __init__(self, ctx: RdmaContext, node_name: str, server: RpcServer,
-                 buf_bytes: int = 1 << 16,
-                 timeout_ns: Optional[float] = None, max_retries: int = 0):
+    def __init__(self, ctx: RdmaContext, node_name: str,
+                 server: Optional[RpcServer] = None, buf_bytes: int = 1 << 16,
+                 timeout_ns: Optional[float] = None, max_retries: int = 0,
+                 lease=None, servers: Optional[dict] = None):
         if timeout_ns is not None and timeout_ns <= 0:
             raise ValueError(f"timeout must be positive: {timeout_ns}")
         if max_retries < 0:
             raise ValueError(f"negative max_retries: {max_retries}")
+        if (lease is None) == (server is None):
+            raise ValueError("pass either server= or lease=+servers=")
+        if lease is not None and not servers:
+            raise ValueError("scheduler-managed mode needs servers=")
         self.ctx = ctx
-        self.server = server
+        # Scheduler-managed mode: ``lease`` (duck-typed: ``responder``
+        # attribute) plus ``servers`` mapping node names to RpcServer
+        # instances.  UD is connectionless, so following a migration is
+        # just re-resolving the destination QP per call.
+        self.lease = lease
+        self.servers = servers or {}
+        self._fixed_server = server
         self.qp = ctx.create_qp(node_name, QPType.UD)
         self.mr = ctx.reg_mr(node_name, buf_bytes)
         self.stats = RpcStats()
         self.timeout_ns = timeout_ns
         self.max_retries = max_retries
         self._next_id = 0
+
+    @property
+    def server(self) -> RpcServer:
+        """The current destination (lease-resolved when managed)."""
+        if self.lease is None:
+            return self._fixed_server
+        try:
+            return self.servers[self.lease.responder]
+        except KeyError:
+            raise ValueError(
+                f"no RPC server on {self.lease.responder!r}; have "
+                f"{sorted(self.servers)}") from None
 
     def call(self, payload: bytes) -> Generator:
         """A process generator performing one RPC; returns the response."""

@@ -16,6 +16,8 @@ Commands:
   tables, or a ``--tree`` rendering (see docs/observability.md).
 * ``trace-gen`` / ``trace-solve`` — generate a JSONL request trace and
   solve its aggregate throughput.
+* ``serve`` — run the online path scheduler over a multi-tenant
+  workload (adaptive vs ``--static``; see docs/scheduling.md).
 
 ``compare`` accepts ``--nic`` to pick a catalog device
 (bluefield-2 default, bluefield-3, stingray-ps225).
@@ -30,8 +32,9 @@ from typing import List, Optional
 
 from repro.core.advisor import Advisor, WorkloadProfile
 from repro.core.anomalies import detect_all
-from repro.core.bench import LatencyBench, ThroughputBench
+from repro.core.harness import LatencyBench, ThroughputBench
 from repro.core.latency import LatencyModel
+from repro.core.options import RunOptions
 from repro.core.paths import CommPath, Opcode
 from repro.core.plot import plot_sweeps
 from repro.core.report import format_table
@@ -114,23 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                       "fig10", "fig11"])
     p.add_argument("--plot", action="store_true",
                    help="render an ASCII chart instead of a table")
-    p.add_argument("--jobs", type=int, default=0,
-                   help="evaluate sweep points on N worker processes "
-                        "(0/1 = in-process; results are identical)")
-    p.add_argument("--engine", choices=["scalar", "vector", "auto"],
-                   default="auto",
-                   help="solver backend: 'vector' batches the whole grid "
-                        "through the numpy demand tensor, 'scalar' solves "
-                        "per point, 'auto' (default) picks vector when "
-                        "numpy is installed")
-    p.add_argument("--profile", action="store_true",
-                   help="append a per-stage wall-time breakdown "
-                        "(grid build / demand assembly / solve / aggregate)")
-    p.add_argument("--no-cache", action="store_true",
-                   help="disable the content-keyed solver result cache")
-    p.add_argument("--disk-cache", metavar="DIR", default=None,
-                   help="persist solver results under DIR so repeated "
-                        "points are free across invocations")
+    RunOptions.add_arguments(p)
     p.add_argument("--cache-stats", action="store_true",
                    help="append cache hit/miss counters to the output")
 
@@ -204,6 +191,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="peak throughput of a JSONL trace's mix")
     p.add_argument("trace", help="trace path")
     p.add_argument("--requesters", type=int, default=11)
+
+    p = sub.add_parser("serve",
+                       help="online path scheduling of tenant streams (DES)")
+    p.add_argument("--duration", type=float, default=1_500_000.0,
+                   help="arrival-window length in ns (default 1.5 ms)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed of the tenants' request streams")
+    p.add_argument("--static", action="store_true",
+                   help="pin the advisor's initial placements instead of "
+                        "scheduling online (the non-adaptive baseline)")
+    p.add_argument("--fault-plan", metavar="FILE", default=None,
+                   help="JSON fault plan (e.g. a soc-crash) injected "
+                        "into the run")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the injector's RNG streams")
+    p.add_argument("--decisions", action="store_true",
+                   help="append the scheduler's decision log")
+    p.add_argument("--json", action="store_true",
+                   help="emit the per-tenant rows as JSON instead of a table")
     return parser
 
 
@@ -279,19 +285,13 @@ def _cmd_compare(args) -> str:
 
 
 def _cmd_sweep(args) -> str:
-    from repro.core.sweeps import StageTimings, SweepRunner
-    from repro.core.throughput import configure_result_cache
-
-    configure_result_cache(enabled=not args.no_cache,
-                           disk_dir=args.disk_cache)
+    options = RunOptions.from_args(args)
     testbed = paper_testbed()
-    timings = StageTimings() if args.profile else None
-    runner = SweepRunner(testbed, jobs=args.jobs, engine=args.engine,
-                         timings=timings)
+    runner = options.runner(testbed)
     tp = ThroughputBench(testbed, runner)
     out = _run_sweep(args, testbed, tp, runner)
-    if args.profile:
-        out += "\n\nsweep stage profile\n" + timings.report()
+    if options.profile:
+        out += "\n\nsweep stage profile\n" + runner.timings.report()
     if args.cache_stats:
         from repro.telemetry import perf_report
         out += "\n\n" + perf_report()
@@ -538,6 +538,37 @@ def _cmd_trace_solve(args) -> str:
                         title=f"{len(trace)} traced requests, aggregated")
 
 
+def _cmd_serve(args) -> str:
+    from repro.faults import FaultPlan
+    from repro.sched import mixed_tenant_workload, run_serve
+    from repro.units import fmt_ns
+
+    plan = (FaultPlan.from_file(args.fault_plan)
+            if args.fault_plan is not None else None)
+    tenants = mixed_tenant_workload(duration_ns=args.duration,
+                                    seed=args.seed)
+    report = run_serve(tenants, adaptive=not args.static, faults=plan,
+                       fault_seed=args.fault_seed)
+    if args.json:
+        rows = [vars(t) for t in report.tenants.values()]
+        return json.dumps({"adaptive": report.adaptive,
+                           "elapsed_ns": report.elapsed_ns,
+                           "tenants": rows,
+                           "path_gbps": report.path_gbps}, indent=2)
+    parts = [report.table()]
+    gbps = ", ".join(f"{path}: {rate:.1f}"
+                     for path, rate in sorted(report.path_gbps.items()))
+    parts.append(f"steady-state Gbps per path: {gbps}")
+    if args.decisions:
+        lines = ["scheduler decisions"]
+        for d in report.decisions:
+            lines.append(
+                f"  {fmt_ns(d.time_ns):>9}  {d.kind:<9} {d.tenant:<8} "
+                f"-> {d.to_path.value}/{d.to_responder}  [{d.reason}]")
+        parts.append("\n".join(lines))
+    return "\n\n".join(parts)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -552,6 +583,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "trace-gen": _cmd_trace_gen,
         "trace-solve": _cmd_trace_solve,
+        "serve": _cmd_serve,
     }
     try:
         print(handlers[args.command](args))

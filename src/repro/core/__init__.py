@@ -11,7 +11,9 @@ Public surface:
 * :mod:`repro.core.flows` — concurrent-flow scenarios (Fig 5, §4).
 * :mod:`repro.core.anomalies` — detectors for the four anomalies.
 * :mod:`repro.core.advisor` — the offloading advice engine (Advice #1-4).
-* :mod:`~repro.core.bench` — measurement harness driving solver and DES.
+* :mod:`~repro.core.harness` — measurement harness driving solver and DES
+  (``repro.core.bench`` remains as a deprecated alias).
+* :mod:`repro.core.options` — the shared :class:`RunOptions` knobs.
 """
 
 from repro.core.paths import CommPath, Opcode, PathEnds
@@ -28,6 +30,7 @@ from repro.core.batch import (
     ResourceRegistry,
     numpy_available,
 )
+from repro.core.options import RunOptions
 from repro.core.sweeps import StageTimings, SweepRunner
 from repro.core.latency import LatencyModel, LatencyBreakdown
 from repro.core.flows import FlowPattern, ConcurrencyAnalyzer
@@ -41,7 +44,7 @@ from repro.core.anomalies import (
     detect_doorbell_regression,
 )
 from repro.core.advisor import Advisor, Advice, OffloadPlan, WorkloadProfile
-from repro.core.bench import Measurement, Sweep, LatencyBench, ThroughputBench
+from repro.core.harness import Measurement, Sweep, LatencyBench, ThroughputBench
 from repro.core.whatif import (
     CxlPath3Model,
     bluefield3_testbed,
@@ -65,6 +68,7 @@ __all__ = [
     "DemandTensor",
     "ResourceRegistry",
     "numpy_available",
+    "RunOptions",
     "StageTimings",
     "SweepRunner",
     "LatencyModel",

@@ -10,8 +10,8 @@ be on at each side, and how much host<->SoC bandwidth is safe to use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional
 
 from repro.core.flows import ConcurrencyAnalyzer
 from repro.core.paths import CommPath, Opcode
@@ -63,7 +63,14 @@ class Advice:
 
 @dataclass(frozen=True)
 class OffloadPlan:
-    """The advisor's output."""
+    """The advisor's output.
+
+    ``path_budgets_mrps`` is populated when the plan terminates traffic
+    on *both* server endpoints (host and SoC): per-path request-rate
+    budgets from the Fig 11 concurrent solve, which partition the shared
+    NIC-core pool instead of double-booking each path's solo peak.
+    Empty when a single endpoint carries everything.
+    """
 
     one_sided_path: CommPath
     two_sided_path: CommPath
@@ -72,9 +79,23 @@ class OffloadPlan:
     doorbell_batching_host_side: bool
     path3_budget_gbps: float
     advice: List[Advice] = field(default_factory=list)
+    path_budgets_mrps: Dict[CommPath, float] = field(default_factory=dict)
 
     def advice_refs(self) -> List[str]:
         return [a.ref for a in self.advice]
+
+    def diff(self, other: Optional["OffloadPlan"]) -> List[str]:
+        """Names of the actionable fields that differ from ``other``.
+
+        The incremental re-plan contract: advice prose is excluded, so
+        an empty diff means "nothing to enact" and callers can skip the
+        migration machinery entirely.
+        """
+        if other is None:
+            return [f.name for f in fields(self) if f.name != "advice"]
+        return [f.name for f in fields(self)
+                if f.name != "advice"
+                and getattr(self, f.name) != getattr(other, f.name)]
 
 
 class Advisor:
@@ -97,6 +118,8 @@ class Advisor:
         two_sided_path = self._pick_two_sided_path(profile, advice)
         segment = self._segmentation(profile, one_sided_path, advice)
         budget = self.analyzer.path3_budget_gbps()
+        path_budgets = self._partition_budgets(
+            profile, one_sided_path, two_sided_path, advice)
 
         if profile.host_soc_transfer:
             advice.append(Advice(
@@ -122,9 +145,83 @@ class Advisor:
             doorbell_batching_host_side=False,
             path3_budget_gbps=budget if profile.host_soc_transfer else 0.0,
             advice=advice,
+            path_budgets_mrps=path_budgets,
         )
 
+    def replan(self, profile: WorkloadProfile,
+               previous: Optional[OffloadPlan] = None,
+               soc_available: bool = True) -> OffloadPlan:
+        """Incremental re-planning for an online control loop.
+
+        Recomputes the plan for ``profile``; when the SoC is unavailable
+        (crashed, draining) every SoC-terminated assignment fails
+        host-ward and path ③ is zero-budgeted.  If nothing actionable
+        changed relative to ``previous`` (see :meth:`OffloadPlan.diff`),
+        ``previous`` itself is returned, so callers can detect a no-op
+        re-plan by identity and skip migrations.
+        """
+        plan = self.plan(profile)
+        if not soc_available:
+            advice = [a for a in plan.advice
+                      if a.ref not in ("path-2", "fig11-partition")]
+            advice.append(Advice(
+                ref="failover",
+                summary="SoC unavailable: terminate all traffic on the host",
+                rationale=("a crashed SoC black-holes paths 2 and 3; the "
+                           "host endpoint is the only serving option"),
+            ))
+            plan = replace(
+                plan,
+                one_sided_path=CommPath.SNIC1,
+                two_sided_path=(CommPath.SNIC1
+                                if plan.two_sided_path is CommPath.SNIC2
+                                else plan.two_sided_path),
+                path3_budget_gbps=0.0,
+                path_budgets_mrps={},
+                advice=advice,
+            )
+        if previous is not None and not plan.diff(previous):
+            return previous
+        return plan
+
     # -- internals ---------------------------------------------------------------
+
+    def _partition_budgets(self, profile: WorkloadProfile,
+                           one_sided_path: CommPath,
+                           two_sided_path: CommPath,
+                           advice: List[Advice]) -> Dict[CommPath, float]:
+        """The Fig 11 budgets when the plan splits host/SoC endpoints.
+
+        Historically the advisor placed one-sided traffic on ② and
+        two-sided on ① and implicitly granted each its solo peak — a
+        combined budget the shared NIC cores cannot deliver (195 + 157
+        vs ~210 Mrps concurrent on the paper's testbed).  Routing the
+        mixed plan through the :class:`ConcurrencyAnalyzer` yields the
+        real concurrent partition.
+        """
+        one_sided_share = 1.0 - profile.two_sided_fraction
+        endpoints = set()
+        if one_sided_share > 0:
+            endpoints.add(one_sided_path)
+        if profile.two_sided_fraction > 0:
+            endpoints.add(two_sided_path)
+        if endpoints != {CommPath.SNIC1, CommPath.SNIC2}:
+            return {}
+        op = Opcode.READ if profile.read_fraction >= 0.5 else Opcode.WRITE
+        budgets = self.analyzer.concurrent_endpoint_budgets(
+            op, payload=profile.payload)
+        total = sum(budgets.values())
+        advice.append(Advice(
+            ref="fig11-partition",
+            summary=(f"budget concurrent paths 1+2 at "
+                     f"{budgets[CommPath.SNIC1]:.0f} + "
+                     f"{budgets[CommPath.SNIC2]:.0f} = {total:.0f} Mrps"),
+            rationale=("host- and SoC-terminated flows share one NIC-core "
+                       "pool; the concurrent aggregate sits slightly above "
+                       "the best single path, not at the sum of the solo "
+                       "peaks (Fig 11, S4)"),
+        ))
+        return budgets
 
     def _pick_one_sided_path(self, profile: WorkloadProfile,
                              advice: List[Advice]) -> CommPath:

@@ -100,6 +100,26 @@ class ConcurrencyAnalyzer:
             "SNIC1+2": [flow1, flow2],
         })
 
+    def concurrent_endpoint_budgets(self, op: Opcode, payload: int = 0,
+                                    requesters_each: int = 6
+                                    ) -> Dict[CommPath, float]:
+        """Per-path Mrps budgets when ① and ② run concurrently.
+
+        This is the Fig 11 partition: host- and SoC-terminated traffic
+        share one NIC-core pool, so the concurrent aggregate (~210 Mrps
+        on the paper's testbed) sits a few percent above the best single
+        path — far below the 352 Mrps sum of the solo peaks.  A planner
+        that books each path at its solo peak double-counts the shared
+        cores; these budgets are what each path actually gets.
+        """
+        flow1 = Flow(path=CommPath.SNIC1, op=op, payload=payload,
+                     requesters=requesters_each)
+        flow2 = Flow(path=CommPath.SNIC2, op=op, payload=payload,
+                     requesters=requesters_each)
+        result = self.combine([flow1, flow2])
+        return {CommPath.SNIC1: result.mrps_of(0),
+                CommPath.SNIC2: result.mrps_of(1)}
+
     # -- §4: inter- + intra-machine (①+③) --------------------------------------------
 
     def path3_interference(self, op: Opcode, payload: int = 64,

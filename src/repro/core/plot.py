@@ -85,7 +85,7 @@ def ascii_plot(series: Dict[str, Sequence[Tuple[float, float]]],
 
 def plot_sweeps(sweeps: Dict[str, "object"], log_x: bool = True,
                 title: str = "", y_label: str = "") -> str:
-    """Plot :class:`~repro.core.bench.Sweep` objects by name."""
+    """Plot :class:`~repro.core.harness.Sweep` objects by name."""
     series: Dict[str, List[Tuple[float, float]]] = {}
     for name, sweep in sweeps.items():
         series[name] = list(zip(sweep.xs(), sweep.values()))

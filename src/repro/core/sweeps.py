@@ -155,7 +155,9 @@ class SweepRunner:
     (raising ``ValueError`` when numpy is missing), and ``"auto"`` —
     the default — picks vector when numpy is importable and the sweep
     has at least two points, scalar otherwise.  ``vectorized=True`` is
-    accepted as an alias for ``engine="vector"``.  All backends return
+    accepted as a deprecated alias for ``engine="vector"`` (it warns;
+    use ``engine=`` or :class:`~repro.core.options.RunOptions`).  All
+    backends return
     numerically identical results in identical order.
 
     ``jobs <= 1`` keeps scalar evaluation in-process (what the
@@ -171,6 +173,12 @@ class SweepRunner:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0: {jobs}")
         if vectorized is not None:
+            import warnings
+
+            warnings.warn(
+                "SweepRunner(vectorized=...) is deprecated; pass "
+                "engine='vector'/'scalar' (or a RunOptions)",
+                DeprecationWarning, stacklevel=2)
             engine = "vector" if vectorized else "scalar"
         if engine not in ENGINES:
             raise ValueError(f"unknown engine: {engine!r} "

@@ -7,7 +7,7 @@ from typing import Dict, Optional, Tuple
 from repro.net.cluster import Node, SimCluster
 from repro.rdma.cq import CompletionQueue
 from repro.rdma.mr import MemoryRegion, ProtectionDomain
-from repro.rdma.qp import QPType, QueuePair
+from repro.rdma.qp import QPError, QPType, QueuePair
 from repro.rdma.srq import SharedReceiveQueue
 
 
@@ -67,3 +67,20 @@ class RdmaContext:
         """Two unconnected UD QPs (requester addresses responder explicitly)."""
         return (self.create_qp(requester, QPType.UD),
                 self.create_qp(responder, QPType.UD))
+
+    def rebind_rc(self, qp: QueuePair,
+                  responder: str) -> Tuple[QueuePair, QueuePair]:
+        """Re-bind an RC flow to a new responder node.
+
+        RC connections are point-to-point and immutable once at RTS, so
+        "moving" a flow means a fresh pair: the old pair is left alone
+        to drain (or flush, if its responder crashed) while the returned
+        pair — same requester node, new responder — is immediately
+        usable.  This is the primitive behind the path scheduler's
+        migration decisions.
+        """
+        if qp.qp_type is not QPType.RC:
+            raise QPError("only RC flows can be re-bound")
+        if qp.peer is None:
+            raise QPError("cannot re-bind an unconnected QP")
+        return self.connect_rc(qp.node.name, responder)

@@ -1,0 +1,313 @@
+"""The serving runtime: tenant streams executed over live QPs.
+
+:class:`ServingRuntime` is the data plane under the scheduler.  Each
+tenant gets:
+
+* an **open-loop arrival process** (one request per ``interval_ns``,
+  regardless of completions — the serving-system regime where queueing
+  delay is real);
+* a **bounded admission queue** — arrivals that find it full are
+  rejected immediately (backpressure instead of unbounded buildup);
+* ``workers`` **worker processes**, each owning one RC QP pair to the
+  tenant's current responder, draining the queue through actual
+  simulated verbs (so latency includes NIC pipelines, PCIe, DMA and
+  congestion from every other tenant);
+* an optional **token bucket** capping its byte rate (the scheduler
+  sets this to the ``P − N`` budget for path-③ tenants).
+
+The control-plane surface is :class:`PathLease`: the scheduler mutates
+a tenant's lease via :meth:`ServingRuntime.rebind`, which bumps the
+lease generation and connects fresh QP pairs to the new responder
+(see :meth:`repro.rdma.verbs.RdmaContext.rebind_rc`).  In-flight
+requests that fail on the old path retry on the new one — migration
+is lossless as long as the retry budget holds out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.apps.logship import TokenBucket
+from repro.core.paths import CommPath, Opcode
+from repro.hw.memory.address import AddressRegion
+from repro.net.cluster import SimCluster
+from repro.rdma.qp import QPState, QueuePair
+from repro.rdma.verbs import RdmaContext
+from repro.sched.policy import Placement
+from repro.sched.slo import SloTracker
+from repro.sched.tenant import CompletionRecord, TenantSpec
+from repro.units import gbps, gib_per_s, to_mpps
+from repro.sim import Store
+from repro.workloads import RangeLimitedPattern, RequestStream, UniformPattern
+
+#: Per-attempt transport tuning for runtime QPs.  Default verbs retry
+#: for ~0.5 ms before wedging; a serving runtime wants to fail fast and
+#: let the (possibly migrated) lease drive the retry instead.
+_RETRY_CNT = 2
+_TIMEOUT_NS = 4_000.0
+
+#: Host-local relay throughput while degraded (SoC down): a memcpy
+#: through host DRAM instead of a DMA hop to SoC memory.
+_RELAY_GIBPS = 16.0
+
+
+@dataclass
+class PathLease:
+    """A tenant's current binding, owned by the scheduler.
+
+    ``generation`` increments on every re-bind; workers compare their
+    QP's generation against the lease to notice migrations mid-retry.
+    ``degraded`` marks the host-local relay mode (path-③ tenant with
+    the SoC down) — requests are served by host CPU + DRAM instead of
+    traversing QPs.
+    """
+
+    tenant: str
+    path: CommPath
+    responder: str                       # endpoint kind: "host" or "soc"
+    generation: int = 0
+    rate_cap_gbps: Optional[float] = None
+    degraded: bool = False
+
+
+class _TenantState:
+    """Everything mutable the runtime tracks for one tenant."""
+
+    def __init__(self, spec: TenantSpec, requester: str, sim):
+        self.spec = spec
+        self.requester = requester
+        self.queue = Store(sim)          # unbounded; bounded by check below
+        self.lease: Optional[PathLease] = None
+        # Per-worker (requester_qp, responder_qp); replaced on re-bind.
+        self.qps: List[Tuple[QueuePair, QueuePair]] = []
+        self.local_mrs = []
+        self.remote_mrs = []
+        self.bucket: Optional[TokenBucket] = None
+        self.stream = self._make_stream(spec)
+        self.wr_ids = itertools.count(1)
+        self.admitted = 0
+        self.finished = 0
+        self.arrivals_done = False
+        self.degraded_served = 0
+
+    @staticmethod
+    def _make_stream(spec: TenantSpec) -> RequestStream:
+        region = AddressRegion(0, int(spec.working_set_bytes))
+        payload = max(1, spec.payload)
+        if spec.hot_range_bytes:
+            pattern = RangeLimitedPattern(region, payload,
+                                          int(spec.hot_range_bytes))
+        else:
+            pattern = UniformPattern(region, payload)
+        return RequestStream(spec.mix, pattern, seed=spec.seed)
+
+
+class ServingRuntime:
+    """Executes tenant streams against the cluster under lease control."""
+
+    MAX_ATTEMPTS = 6
+
+    def __init__(self, cluster: SimCluster, ctx: RdmaContext,
+                 tenants: Iterable[TenantSpec], tracker: SloTracker):
+        self.cluster = cluster
+        self.ctx = ctx
+        self.sim = cluster.sim
+        self.tracker = tracker
+        self.specs: List[TenantSpec] = list(tenants)
+        names = [t.name for t in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        self.completions: List[CompletionRecord] = []
+        self._tenants: Dict[str, _TenantState] = {}
+        clients = [n.name for n in cluster.clients()]
+        client_i = 0
+        for spec in self.specs:
+            if spec.bulk:
+                requester = "host"
+            else:
+                if client_i >= len(clients):
+                    raise ValueError(
+                        f"{len(clients)} client nodes for more client "
+                        f"tenants; raise n_clients")
+                requester = clients[client_i]
+                client_i += 1
+            self._tenants[spec.name] = _TenantState(spec, requester, self.sim)
+
+    # -- control-plane surface (used by the scheduler) ----------------------
+
+    def lease(self, tenant: str) -> PathLease:
+        lease = self._tenants[tenant].lease
+        if lease is None:
+            raise ValueError(f"tenant {tenant!r} was never placed")
+        return lease
+
+    def place(self, spec: TenantSpec, placement: Placement) -> PathLease:
+        """Bind a tenant for the first time and start its processes."""
+        t = self._tenants[spec.name]
+        if t.lease is not None:
+            raise ValueError(f"tenant {spec.name!r} already placed")
+        t.lease = PathLease(tenant=spec.name, path=placement.path,
+                            responder=placement.responder,
+                            rate_cap_gbps=placement.rate_cap_gbps,
+                            degraded=placement.degraded)
+        self._apply_rate_cap(t)
+        if not placement.degraded:
+            self._connect(t)
+        self.sim.process(self._arrivals(t))
+        for wid in range(spec.workers):
+            self.sim.process(self._worker(t, wid))
+        return t.lease
+
+    def rebind(self, tenant: str, placement: Placement) -> PathLease:
+        """Enact a migration/failover decision on a live tenant."""
+        t = self._tenants[tenant]
+        lease = self.lease(tenant)
+        lease.generation += 1
+        lease.path = placement.path
+        lease.responder = placement.responder
+        lease.degraded = placement.degraded
+        lease.rate_cap_gbps = placement.rate_cap_gbps
+        self._apply_rate_cap(t)
+        if not placement.degraded:
+            self._connect(t)
+        return lease
+
+    @property
+    def soc_available(self) -> bool:
+        """Is server 0's SoC alive (the schedulable SoC endpoint)?"""
+        soc = self.cluster.nodes.get("soc")
+        return soc is not None and not soc.crashed
+
+    @property
+    def done(self) -> bool:
+        """All arrivals emitted and every admitted request resolved."""
+        return all(t.arrivals_done and t.finished >= t.admitted
+                   for t in self._tenants.values())
+
+    def offered_mrps_by_path(self) -> Dict[CommPath, float]:
+        """Open-loop offered load currently bound to each path (Mrps)."""
+        offered: Dict[CommPath, float] = {}
+        for t in self._tenants.values():
+            if t.lease is None:
+                continue
+            path = t.lease.path
+            offered[path] = (offered.get(path, 0.0)
+                             + to_mpps(1.0 / t.spec.interval_ns))
+        return offered
+
+    # -- wiring -------------------------------------------------------------
+
+    def _responder_node(self, lease: PathLease) -> str:
+        # Endpoint kinds map to server 0's node names directly.
+        return lease.responder
+
+    def _apply_rate_cap(self, t: _TenantState) -> None:
+        cap = t.lease.rate_cap_gbps if t.lease else None
+        if cap:
+            burst = max(t.spec.payload, 4096)
+            t.bucket = TokenBucket(gbps(cap), burst)
+        else:
+            t.bucket = None
+
+    def _connect(self, t: _TenantState) -> None:
+        """(Re)connect one QP pair per worker to the lease's responder."""
+        responder = self._responder_node(t.lease)
+        payload = max(1, t.spec.payload)
+        t.qps = []
+        t.local_mrs = []
+        t.remote_mrs = []
+        for _wid in range(t.spec.workers):
+            qp_a, qp_b = self.ctx.connect_rc(t.requester, responder)
+            qp_a.retry_cnt = _RETRY_CNT
+            qp_a.timeout_ns = _TIMEOUT_NS
+            t.qps.append((qp_a, qp_b))
+            t.local_mrs.append(self.ctx.reg_mr(t.requester, payload))
+            t.remote_mrs.append(self.ctx.reg_mr(responder, payload))
+
+    # -- data plane ---------------------------------------------------------
+
+    def _arrivals(self, t: _TenantState):
+        """Open-loop arrival process with bounded-queue admission."""
+        spec = t.spec
+        for seq in range(spec.requests):
+            yield self.sim.timeout(spec.interval_ns)
+            op, _payload, _addr = next(t.stream)
+            if len(t.queue) >= spec.queue_limit:
+                self.tracker.observe_reject(spec.name, self.sim.now)
+                self.cluster.bump("sched.rejected")
+                continue
+            t.admitted += 1
+            t.queue.put((seq, op, self.sim.now))
+        t.arrivals_done = True
+        for _ in range(spec.workers):
+            t.queue.put(None)            # wake idle workers to exit
+
+    def _worker(self, t: _TenantState, wid: int):
+        while True:
+            item = yield t.queue.get()
+            if item is None:
+                return
+            seq, op, arrived_ns = item
+            yield from self._serve_one(t, wid, seq, op, arrived_ns)
+
+    def _serve_one(self, t: _TenantState, wid: int, seq: int, op: Opcode,
+                   arrived_ns: float):
+        """One admitted request, retried across lease generations."""
+        spec = t.spec
+        payload = max(1, spec.payload)
+        attempts = 0
+        while True:
+            lease = t.lease
+            attempts += 1
+            if lease.degraded:
+                # Host-local relay: CPU service + a DRAM-speed copy.
+                host = self.cluster.node("host")
+                service = (host.cpu.two_sided_latency_ns
+                           + payload / gib_per_s(_RELAY_GIBPS))
+                yield self.sim.timeout(service)
+                t.degraded_served += 1
+                self._finish(t, seq, op, arrived_ns, ok=True,
+                             attempts=attempts, degraded=True)
+                return
+            if t.bucket is not None:
+                delay = t.bucket.delay_for(spec.payload, self.sim.now)
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+            qp, peer = t.qps[wid]
+            if qp.state is QPState.ERROR:
+                qp.recover()
+            wr = next(t.wr_ids)
+            if op is Opcode.READ:
+                work = qp.post_read(wr, t.local_mrs[wid],
+                                    t.remote_mrs[wid], payload)
+            elif op is Opcode.WRITE:
+                work = qp.post_write(wr, t.local_mrs[wid],
+                                     t.remote_mrs[wid], payload)
+            else:
+                peer.post_recv(wr, t.remote_mrs[wid], 0, payload)
+                work = qp.post_send(wr, bytes(payload))
+            yield work
+            ok = any(c.wr_id == wr and c.ok for c in qp.send_cq.poll())
+            if ok:
+                self._finish(t, seq, op, arrived_ns, ok=True,
+                             attempts=attempts)
+                return
+            if attempts >= self.MAX_ATTEMPTS:
+                self.cluster.bump("sched.lost")
+                self._finish(t, seq, op, arrived_ns, ok=False,
+                             attempts=attempts)
+                return
+            # else: retry — possibly on a migrated lease (fresh QPs).
+
+    def _finish(self, t: _TenantState, seq: int, op: Opcode,
+                arrived_ns: float, ok: bool, attempts: int,
+                degraded: bool = False) -> None:
+        record = CompletionRecord(
+            tenant=t.spec.name, seq=seq, op=op.value, path=t.lease.path,
+            start_ns=arrived_ns, end_ns=self.sim.now, ok=ok,
+            attempts=attempts, degraded=degraded)
+        t.finished += 1
+        self.completions.append(record)
+        self.tracker.observe(record, t.spec.payload)

@@ -1,0 +1,265 @@
+"""``run_serve``: one call from tenant specs to a serving report.
+
+This is the engine behind ``repro serve``, ``Session.serve`` and
+``benchmarks/bench_scheduler.py``.  It wires the whole stack — cluster,
+RDMA context, SLO tracker, runtime, policy, scheduler, optional fault
+plan and tracer — runs the simulation to completion, and distils the
+raw completion feed into per-tenant and per-path aggregates.
+
+Two modes:
+
+* ``adaptive=True`` (default) — the :class:`PathScheduler` places via
+  the advisor, applies the ``P − N`` rate cap, migrates on SLO
+  violations and fails over on SoC crashes.
+* ``adaptive=False`` — a *static* baseline: tenants are pinned to
+  ``static_assignment`` (or the advisor's initial placement) with no
+  caps and no control loop.  This is the strawman the benchmark
+  compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.paths import CommPath
+from repro.core.report import format_table
+from repro.faults.plan import FaultPlan
+from repro.net.cluster import SimCluster
+from repro.net.topology import Testbed, paper_testbed
+from repro.rdma.verbs import RdmaContext
+from repro.sched.policy import Decision, PathPolicy, Placement, _RESPONDER
+from repro.sched.runtime import ServingRuntime
+from repro.sched.scheduler import PathScheduler
+from repro.sched.slo import SloTracker
+from repro.sched.tenant import SloSpec, TenantSpec
+from repro.telemetry import Telemetry
+from repro.trace.tracer import Tracer
+from repro.units import GB, KB, MB, fmt_ns, to_gbps
+from repro.workloads import OpMix
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """One tenant's end-to-end outcome."""
+
+    name: str
+    final_path: str
+    completed: int
+    rejected: int
+    lost: int
+    degraded: int
+    p50_ns: float
+    p99_ns: float
+    goodput_gbps: float       # all completed bytes / active span
+    slo_goodput_gbps: float   # only bytes delivered within deadline
+    slo_attainment: float     # fraction of completions within deadline
+    migrations: int
+
+
+@dataclass
+class ServeReport:
+    """The full outcome of one serving run."""
+
+    adaptive: bool
+    elapsed_ns: float
+    tenants: Dict[str, TenantReport]
+    decisions: List[Decision]
+    path_gbps: Dict[str, float]          # steady-state delivered per path
+    counters: Dict[str, float] = field(default_factory=dict)
+    tracer: Optional[Tracer] = None
+
+    @property
+    def worst_p99_ns(self) -> float:
+        return max((t.p99_ns for t in self.tenants.values()), default=0.0)
+
+    @property
+    def total_slo_goodput_gbps(self) -> float:
+        return sum(t.slo_goodput_gbps for t in self.tenants.values())
+
+    @property
+    def lost(self) -> int:
+        return sum(t.lost for t in self.tenants.values())
+
+    def table(self) -> str:
+        rows = [(t.name, t.final_path, t.completed, t.rejected, t.lost,
+                 fmt_ns(t.p50_ns), fmt_ns(t.p99_ns),
+                 f"{t.goodput_gbps:.1f}", f"{t.slo_goodput_gbps:.1f}",
+                 f"{100 * t.slo_attainment:.1f}%", t.migrations)
+                for t in self.tenants.values()]
+        mode = "adaptive" if self.adaptive else "static"
+        return format_table(
+            ["tenant", "path", "done", "rej", "lost", "p50", "p99",
+             "gbps", "slo-gbps", "slo-att", "moves"],
+            rows, title=f"serve ({mode}, {fmt_ns(self.elapsed_ns)})")
+
+
+def mixed_tenant_workload(duration_ns: float = 1_500_000.0,
+                          seed: int = 0) -> Tuple[TenantSpec, ...]:
+    """The benchmark's four-tenant mix (every paper path occupied).
+
+    * ``alpha`` — latency-sensitive 512 B READs (cache-resident working
+      set: the advisor's SoC-friendly shape, path ②).
+    * ``beta``/``delta`` — two throughput 4 KB WRITE streams (~80 Gbps
+      each) over working sets larger than SoC DRAM (host-memory shape,
+      path ①).  Together they stand in for the paper's ``N ≈ 200`` of
+      network demand on the shared PCIe fabric.
+    * ``gamma`` — a bulk host→SoC shipper (path ③) offering ~116 Gbps,
+      ~2× the ``P − N`` budget.  Uncapped, its double PCIe1 crossing
+      pushes the link past ``P`` and melts every tenant's tail; capped
+      at the budget, the fabric stays feasible.
+
+    Each tenant's request count is sized so all streams span roughly
+    ``duration_ns`` of simulated time.
+    """
+
+    def _n(interval_ns: float) -> int:
+        return max(1, int(duration_ns / interval_ns))
+
+    return (
+        TenantSpec(name="alpha", payload=512, interval_ns=2_000.0,
+                   requests=_n(2_000.0), mix=OpMix(read=1.0, write=0.0),
+                   slo=SloSpec(p99_ns=15_000.0),
+                   working_set_bytes=4 * MB, workers=4, queue_limit=32,
+                   seed=seed),
+        TenantSpec(name="beta", payload=4 * KB, interval_ns=410.0,
+                   requests=_n(410.0),
+                   mix=OpMix(read=0.0, write=1.0),
+                   slo=SloSpec(p99_ns=25_000.0),
+                   working_set_bytes=32 * GB, workers=16, queue_limit=64,
+                   seed=seed + 1),
+        TenantSpec(name="delta", payload=4 * KB, interval_ns=410.0,
+                   requests=_n(410.0),
+                   mix=OpMix(read=0.0, write=1.0),
+                   slo=SloSpec(p99_ns=25_000.0),
+                   working_set_bytes=32 * GB, workers=16, queue_limit=64,
+                   seed=seed + 3),
+        TenantSpec(name="gamma", payload=64 * KB, interval_ns=4_500.0,
+                   requests=_n(4_500.0),
+                   mix=OpMix(read=0.0, write=1.0), bulk=True,
+                   slo=SloSpec(p99_ns=120_000.0),
+                   working_set_bytes=512 * MB, workers=4, queue_limit=4,
+                   seed=seed + 2),
+    )
+
+
+def _static_placement(spec: TenantSpec,
+                      assignment: Optional[Dict[str, CommPath]],
+                      policy: PathPolicy) -> Placement:
+    """The pinned baseline: a fixed path, no caps, no degradation."""
+    if assignment and spec.name in assignment:
+        path = assignment[spec.name]
+        return Placement(path=path, responder=_RESPONDER[path],
+                         rate_cap_gbps=None, degraded=False,
+                         reason="static", advice_refs=())
+    placed = policy.place(spec)
+    return Placement(path=placed.path, responder=placed.responder,
+                     rate_cap_gbps=None, degraded=False,
+                     reason="static", advice_refs=placed.advice_refs)
+
+
+def run_serve(tenants: Sequence[TenantSpec], adaptive: bool = True,
+              static_assignment: Optional[Dict[str, CommPath]] = None,
+              testbed: Optional[Testbed] = None,
+              faults: Optional[FaultPlan] = None, fault_seed: int = 0,
+              interval_ns: float = 20_000.0, window_ns: float = 100_000.0,
+              cooldown_ns: float = 60_000.0,
+              warmup_ns: Optional[float] = None,
+              trace: bool = False) -> ServeReport:
+    """Serve every tenant stream to completion and report.
+
+    ``warmup_ns`` bounds the steady-state window for per-path bandwidth
+    accounting (defaults to two control ticks); completions before it
+    still count toward per-tenant totals.
+    """
+    tenants = tuple(tenants)
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    testbed = testbed or paper_testbed()
+    n_clients = max(1, sum(1 for t in tenants if not t.bulk))
+    cluster = SimCluster(testbed, n_clients=n_clients, nic="snic")
+    tracer = Tracer().install(cluster) if trace else None
+    telemetry = Telemetry(cluster)
+    if faults is not None and not faults.empty:
+        cluster.install_faults(faults, seed=fault_seed)
+    ctx = RdmaContext(cluster)
+    tracker = SloTracker(tenants, window_ns=window_ns)
+    runtime = ServingRuntime(cluster, ctx, tenants, tracker)
+    policy = PathPolicy(testbed, cooldown_ns=cooldown_ns)
+    start = telemetry.snapshot()
+
+    decisions: List[Decision] = []
+    if adaptive:
+        scheduler = PathScheduler(runtime, policy, tracker,
+                                  interval_ns=interval_ns, tracer=tracer)
+        scheduler.start()
+        decisions = scheduler.decisions
+    else:
+        for spec in tenants:
+            runtime.place(spec, _static_placement(
+                spec, static_assignment, policy))
+
+    cluster.sim.run()
+
+    elapsed = cluster.sim.now
+    warmup = warmup_ns if warmup_ns is not None else 2 * interval_ns
+    return ServeReport(
+        adaptive=adaptive,
+        elapsed_ns=elapsed,
+        tenants=_tenant_reports(tenants, runtime, tracker, decisions),
+        decisions=decisions,
+        path_gbps=_path_gbps(runtime, warmup),
+        counters=dict(telemetry.delta(start).deltas),
+        tracer=tracer,
+    )
+
+
+def _tenant_reports(tenants: Sequence[TenantSpec], runtime: ServingRuntime,
+                    tracker: SloTracker,
+                    decisions: Sequence[Decision]) -> Dict[str, TenantReport]:
+    reports: Dict[str, TenantReport] = {}
+    for spec in tenants:
+        records = [r for r in runtime.completions if r.tenant == spec.name]
+        ok = sorted(r.latency_ns for r in records if r.ok)
+        in_slo = [r for r in records
+                  if r.ok and r.latency_ns <= spec.slo.deadline]
+        span = (max((r.end_ns for r in records), default=0.0)
+                - min((r.start_ns for r in records), default=0.0)) or 1.0
+        good_bytes = spec.payload * len(ok)
+        slo_bytes = spec.payload * len(in_slo)
+        lease = runtime.lease(spec.name)
+        moves = sum(1 for d in decisions
+                    if d.tenant == spec.name
+                    and d.kind in ("migrate", "failover"))
+        reports[spec.name] = TenantReport(
+            name=spec.name,
+            final_path=("degraded" if lease.degraded else lease.path.value),
+            completed=tracker.completed[spec.name],
+            rejected=tracker.rejected[spec.name],
+            lost=tracker.lost[spec.name],
+            degraded=sum(1 for r in records if r.degraded),
+            p50_ns=ok[len(ok) // 2] if ok else 0.0,
+            p99_ns=(ok[min(len(ok) - 1, int(0.99 * len(ok)))]
+                    if ok else 0.0),
+            goodput_gbps=to_gbps(good_bytes / span),
+            slo_goodput_gbps=to_gbps(slo_bytes / span),
+            slo_attainment=(len(in_slo) / len(ok)) if ok else 0.0,
+            migrations=moves,
+        )
+    return reports
+
+
+def _path_gbps(runtime: ServingRuntime,
+               warmup_ns: float) -> Dict[str, float]:
+    """Steady-state delivered bandwidth per path, from completions."""
+    by_path: Dict[str, List] = {}
+    payload = {t.name: t.payload for t in runtime.specs}
+    for r in runtime.completions:
+        if r.ok and r.end_ns > warmup_ns:
+            by_path.setdefault(r.path.value, []).append(r)
+    result: Dict[str, float] = {}
+    for path, records in by_path.items():
+        span = (max(r.end_ns for r in records) - warmup_ns) or 1.0
+        nbytes = sum(payload[r.tenant] for r in records)
+        result[path] = to_gbps(nbytes / span)
+    return result

@@ -1,0 +1,104 @@
+"""Per-tenant SLO accounting over rolling windows of live completions.
+
+The scheduler never sees the future: each control tick it asks "over
+the last window, what latency did tenant T actually observe, and how
+much of its stream got through?"  :class:`SloTracker` answers from the
+runtime's completion feed — the simulated equivalent of scraping
+per-tenant histograms off a serving binary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Tuple
+
+from repro.sched.tenant import CompletionRecord, SloSpec, TenantSpec
+from repro.units import to_gbps
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One tenant's observed behaviour over a rolling window."""
+
+    tenant: str
+    window_ns: float
+    count: int
+    p50_ns: float
+    p99_ns: float
+    goodput_gbps: float
+    rejected: int          # arrivals bounced by the bounded queue
+    violations: int        # completions over the SLO deadline
+
+    @property
+    def idle(self) -> bool:
+        return self.count == 0 and self.rejected == 0
+
+
+class SloTracker:
+    """Rolling per-tenant completion windows, pruned by simulated time."""
+
+    def __init__(self, tenants, window_ns: float = 100_000.0):
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive: {window_ns}")
+        self.window_ns = window_ns
+        self._specs: Dict[str, TenantSpec] = {t.name: t for t in tenants}
+        #: (end_ns, latency_ns, payload, ok) per tenant, oldest first.
+        self._events: Dict[str, Deque[Tuple[float, float, int, bool]]] = {
+            t.name: deque() for t in tenants}
+        self._rejects: Dict[str, Deque[float]] = {
+            t.name: deque() for t in tenants}
+        # Totals survive pruning (used by the final report).
+        self.completed: Dict[str, int] = {t.name: 0 for t in tenants}
+        self.rejected: Dict[str, int] = {t.name: 0 for t in tenants}
+        self.lost: Dict[str, int] = {t.name: 0 for t in tenants}
+
+    def observe(self, record: CompletionRecord, payload: int) -> None:
+        """Feed one completion from the runtime."""
+        events = self._events[record.tenant]
+        events.append((record.end_ns, record.latency_ns, payload, record.ok))
+        if record.ok:
+            self.completed[record.tenant] += 1
+        else:
+            self.lost[record.tenant] += 1
+
+    def observe_reject(self, tenant: str, now: float) -> None:
+        """Feed one bounced arrival (queue full)."""
+        self._rejects[tenant].append(now)
+        self.rejected[tenant] += 1
+
+    def window(self, tenant: str, now: float) -> WindowStats:
+        """The tenant's stats over ``[now - window, now]``."""
+        spec = self._specs[tenant]
+        slo: SloSpec = spec.slo
+        horizon = now - self.window_ns
+        events = self._events[tenant]
+        while events and events[0][0] < horizon:
+            events.popleft()
+        rejects = self._rejects[tenant]
+        while rejects and rejects[0] < horizon:
+            rejects.popleft()
+
+        latencies = sorted(lat for _end, lat, _p, ok in events if ok)
+        good_bytes = sum(p for _end, lat, p, ok in events
+                         if ok and lat <= slo.deadline)
+        violations = sum(1 for _end, lat, _p, ok in events
+                         if ok and lat > slo.deadline)
+        if latencies:
+            p50 = latencies[max(0, int(0.50 * len(latencies)) - 1)
+                            if len(latencies) > 1 else 0]
+            p99 = latencies[min(len(latencies) - 1,
+                                max(0, int(0.99 * len(latencies))))]
+        else:
+            p50 = p99 = 0.0
+        span = min(self.window_ns, now) or 1.0
+        return WindowStats(
+            tenant=tenant,
+            window_ns=self.window_ns,
+            count=len(latencies),
+            p50_ns=p50,
+            p99_ns=p99,
+            goodput_gbps=to_gbps(good_bytes / span),
+            rejected=len(rejects),
+            violations=violations,
+        )

@@ -104,6 +104,15 @@ class Telemetry:
         return CounterSnapshot(timestamp=self.cluster.sim.now,
                                counters=dict(sorted(counters.items())))
 
+    def delta(self, since: CounterSnapshot) -> CounterDelta:
+        """Counter movement from ``since`` to the current instant.
+
+        The one-liner behind windowed monitoring (the path scheduler's
+        per-tick bandwidth accounting): snapshot once, then call
+        ``delta(start)`` whenever a window closes.
+        """
+        return self.snapshot() - since
+
     def report(self, start: CounterSnapshot,
                end: CounterSnapshot) -> str:
         """A formatted rate table over a window (Mpps for TLPs, Gbps

@@ -149,6 +149,31 @@ class Tracer:
         now = self._sim.now
         return self.point(name, category, now, now, **attrs)
 
+    def annotate(self, name: str, category: str = "control",
+                 **attrs: Any) -> VerbTrace:
+        """Record a standalone control-plane event as its own trace tree.
+
+        Unlike :meth:`begin`/:meth:`instant`, this works *outside* any
+        traced verb: scheduler decisions, migrations and failovers
+        happen between verbs, from the control loop's own process.  The
+        event lands on the same timeline as the datapath spans (one
+        zero-duration root at the current simulated instant) so exports
+        interleave decisions with the verbs they affected.
+        """
+        now = self._sim.now if self._sim is not None else 0.0
+        meta: Dict[str, Any] = {
+            "verb": name,
+            "payload": 0,
+            "path": attrs.get("to_path", ""),
+            "device": "scheduler",
+            "requester": attrs.get("tenant", ""),
+            "responder": attrs.get("responder", ""),
+        }
+        root = Span(name, category, now, now, attrs=dict(attrs) or None)
+        trace = VerbTrace(root, meta)
+        self.traces.append(trace)
+        return trace
+
     # -- generator wrapping ----------------------------------------------------------
 
     def wrap(self, name: str, category: str, gen: Generator,

@@ -1,0 +1,53 @@
+"""Tests for the normalized run-options dataclass."""
+
+import argparse
+
+import pytest
+
+from repro.core.options import RunOptions
+from repro.core.sweeps import SweepRunner
+from repro.net.topology import paper_testbed
+
+
+def test_defaults():
+    options = RunOptions()
+    assert options.engine == "auto"
+    assert options.jobs == 0
+    assert options.cache
+    assert options.disk_cache is None
+    assert not options.profile
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="unknown engine"):
+        RunOptions(engine="quantum")
+    with pytest.raises(ValueError, match="jobs"):
+        RunOptions(jobs=-1)
+
+
+def test_runner_carries_the_options():
+    runner = RunOptions(engine="scalar", jobs=0).runner(paper_testbed())
+    assert isinstance(runner, SweepRunner)
+    assert runner.engine == "scalar"
+    assert runner.jobs == 0
+    assert runner.timings is None
+
+
+def test_profile_attaches_timings():
+    runner = RunOptions(profile=True).runner(paper_testbed())
+    assert runner.timings is not None
+
+
+def test_argparse_round_trip():
+    parser = argparse.ArgumentParser()
+    RunOptions.add_arguments(parser)
+    args = parser.parse_args(["--jobs", "2", "--engine", "scalar",
+                              "--no-cache", "--profile"])
+    options = RunOptions.from_args(args)
+    assert options == RunOptions(engine="scalar", jobs=2, cache=False,
+                                 profile=True)
+
+
+def test_from_args_tolerates_missing_attributes():
+    options = RunOptions.from_args(argparse.Namespace())
+    assert options == RunOptions()

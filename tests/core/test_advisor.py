@@ -87,3 +87,58 @@ def test_plan_is_structured():
     plan = ADVISOR.plan(WorkloadProfile(payload=256))
     assert isinstance(plan, OffloadPlan)
     assert all(a.summary and a.rationale for a in plan.advice)
+
+
+# -- Fig 11 concurrent partition (regression for the budget plumbing) ---------
+
+
+def test_split_endpoint_plan_carries_fig11_budgets():
+    """A plan that terminates traffic on both endpoints budgets each
+    path at the *concurrent* Fig 11 partition, not its solo peak."""
+    plan = ADVISOR.plan(WorkloadProfile(payload=0, read_fraction=1.0,
+                                        two_sided_fraction=0.3,
+                                        working_set_bytes=8 * GB))
+    assert plan.one_sided_path is CommPath.SNIC2
+    assert plan.two_sided_path is CommPath.SNIC1
+    assert "fig11-partition" in plan.advice_refs()
+    budgets = plan.path_budgets_mrps
+    assert set(budgets) == {CommPath.SNIC1, CommPath.SNIC2}
+    # The concurrent aggregate sits a few percent above the best solo
+    # path (~210 Mrps on the paper's testbed) ...
+    total = sum(budgets.values())
+    assert total == pytest.approx(210, rel=0.02)
+    # ... and each path's share stays below its solo peak (195 / 157).
+    assert budgets[CommPath.SNIC1] < 195 * 1.01
+    assert budgets[CommPath.SNIC2] < 157 * 1.01
+    # Far under the 352 Mrps a solo-peak planner would double-book.
+    assert total < 0.65 * (195 + 157)
+
+
+def test_single_endpoint_plan_has_no_partition():
+    plan = ADVISOR.plan(WorkloadProfile(payload=256, read_fraction=0.9,
+                                        working_set_bytes=8 * GB))
+    assert plan.path_budgets_mrps == {}
+    assert "fig11-partition" not in plan.advice_refs()
+
+
+def test_replan_returns_previous_by_identity_when_unchanged():
+    profile = WorkloadProfile(payload=256, read_fraction=0.9,
+                              working_set_bytes=8 * GB)
+    first = ADVISOR.replan(profile)
+    second = ADVISOR.replan(profile, previous=first)
+    assert second is first
+
+
+def test_replan_without_soc_fails_hostward_and_zeroes_budgets():
+    profile = WorkloadProfile(payload=0, read_fraction=1.0,
+                              two_sided_fraction=0.3,
+                              working_set_bytes=8 * GB,
+                              host_soc_transfer=True)
+    healthy = ADVISOR.replan(profile)
+    degraded = ADVISOR.replan(profile, previous=healthy, soc_available=False)
+    assert degraded is not healthy
+    assert degraded.one_sided_path is CommPath.SNIC1
+    assert degraded.two_sided_path is CommPath.SNIC1
+    assert degraded.path3_budget_gbps == 0.0
+    assert degraded.path_budgets_mrps == {}
+    assert "failover" in degraded.advice_refs()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.bench import LatencyBench, Measurement, Sweep, ThroughputBench
+from repro.core.harness import LatencyBench, Measurement, Sweep, ThroughputBench
 from repro.core.paths import CommPath, Opcode
 from repro.core.report import format_table
 from repro.net.topology import paper_testbed

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.bench import Measurement, Sweep
+from repro.core.harness import Measurement, Sweep
 from repro.core.plot import ascii_plot, plot_sweeps
 
 

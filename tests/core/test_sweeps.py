@@ -10,7 +10,7 @@ import dataclasses
 
 import pytest
 
-from repro.core.bench import LatencyBench, Measurement, Sweep, ThroughputBench
+from repro.core.harness import LatencyBench, Measurement, Sweep, ThroughputBench
 from repro.core.cache import ScenarioKey, clear_all
 from repro.core.paths import CommPath, Opcode
 from repro.core.sweeps import SweepRunner

@@ -7,7 +7,7 @@ acceptance tests behind EXPERIMENTS.md; the per-figure benchmarks in
 
 import pytest
 
-from repro.core.bench import ThroughputBench
+from repro.core.harness import ThroughputBench
 from repro.core.flows import ConcurrencyAnalyzer
 from repro.core.latency import LatencyModel
 from repro.core.paths import CommPath, Opcode

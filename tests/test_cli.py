@@ -226,3 +226,25 @@ def test_trace_command_rejects_bad_count(capsys):
     code, _out, err = run(capsys, "trace", "--count", "0")
     assert code == 1
     assert "error" in err
+
+
+def test_serve_command(capsys):
+    code, out, _ = run(capsys, "serve", "--duration", "150000",
+                       "--decisions")
+    assert code == 0
+    assert "serve (adaptive" in out
+    assert "alpha" in out and "gamma" in out
+    assert "steady-state Gbps per path" in out
+    assert "rate cap 56 Gbps" in out
+
+
+def test_serve_command_static_json(capsys):
+    import json as _json
+
+    code, out, _ = run(capsys, "serve", "--duration", "100000",
+                       "--static", "--json")
+    assert code == 0
+    payload = _json.loads(out)
+    assert payload["adaptive"] is False
+    assert {t["name"] for t in payload["tenants"]} == \
+        {"alpha", "beta", "delta", "gamma"}

@@ -1,0 +1,93 @@
+"""The stable public surface: export snapshots and deprecation shims.
+
+``repro`` and ``repro.api`` are the supported import points; this file
+pins their exports so accidental additions/removals fail review, checks
+the new spellings import cleanly under ``-W error::DeprecationWarning``
+(the CI gate), and that the legacy ``repro.core.bench`` path still
+works while warning exactly once per process.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import warnings
+
+import repro
+import repro.api
+
+_SRC = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+# Frozen snapshots: changing the public surface is an API decision,
+# not a side effect — update these lists deliberately.
+REPRO_EXPORTS = [
+    "Advisor",
+    "CommPath",
+    "ConcurrencyAnalyzer",
+    "Flow",
+    "LatencyModel",
+    "Opcode",
+    "PacketCountModel",
+    "RunOptions",
+    "Scenario",
+    "Session",
+    "SolverResult",
+    "Testbed",
+    "ThroughputSolver",
+    "WorkloadProfile",
+    "__version__",
+    "detect_all",
+    "paper_testbed",
+]
+
+API_EXPORTS = ["RunOptions", "Session"]
+
+
+def test_repro_export_snapshot():
+    assert sorted(repro.__all__) == REPRO_EXPORTS
+
+
+def test_api_export_snapshot():
+    assert sorted(repro.api.__all__) == API_EXPORTS
+
+
+def test_every_export_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None
+
+
+def test_new_spellings_are_warning_free():
+    """The supported imports stay clean under -W error."""
+    code = ("import repro, repro.api, repro.sched\n"
+            "from repro import Session, RunOptions\n"
+            "from repro.core.harness import LatencyBench, ThroughputBench\n")
+    subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning", "-c", code],
+        check=True, env={**os.environ, "PYTHONPATH": _SRC})
+
+
+def test_bench_shim_warns_once_and_aliases_harness():
+    for module in ("repro.core.bench",):
+        sys.modules.pop(module, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.core.bench as bench
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "repro.core.bench" in str(w.message)]
+    assert len(deprecations) == 1
+    # The second import hits the module cache: silent.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.core.bench  # noqa: F811
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+    # Old names are the same objects, not copies.
+    from repro.core import harness
+
+    assert bench.LatencyBench is harness.LatencyBench
+    assert bench.ThroughputBench is harness.ThroughputBench
+    assert bench.Sweep is harness.Sweep
+    assert bench.Measurement is harness.Measurement
