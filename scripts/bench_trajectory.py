@@ -2,21 +2,27 @@
 """Track the cost trajectory of the figure sweeps.
 
 Runs a fixed smoke workload — representative Fig 4 / Fig 8 sweeps cold
-and warm, a DES hot-loop microbench, and (optionally) the full
-pytest-benchmark suite — and writes ``BENCH_sweep.json``: wall-clock,
-DES events/sec, and cache hit rates, next to the recorded seed
-baseline.  Intended to run in CI so performance regressions show up in
-the artifact diff, not in reviewers' patience.
+and warm, a DES hot-loop microbench, the serving-engine comparison
+(pure DES vs the analytic/DES hybrid on the same adaptive scenario),
+and (optionally) the full pytest-benchmark suite — and writes
+``BENCH_sweep.json``: wall-clock, DES events/sec, the hybrid speedup,
+and cache hit rates, next to the recorded seed baseline.  Intended to
+run in CI so performance regressions show up in the artifact diff, not
+in reviewers' patience.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--no-suite]
         [--out BENCH_sweep.json] [--check] [--reps N]
 
-``--check`` re-runs the smoke workload and fails (exit 1) if its cold
-wall-time regressed more than ``BENCH_CHECK_TOLERANCE`` (default 0.25,
-i.e. 25 %) against the recorded ``BENCH_sweep.json`` — without
-rewriting the file.  CI runs the check before regenerating the record.
+``--check`` re-runs the smoke workload and fails (exit 1) when any
+recorded bar regressed: cold smoke wall-time more than
+``BENCH_CHECK_TOLERANCE`` (default 0.25, i.e. 25 %) over the recorded
+``BENCH_sweep.json``, DES events/sec below the record by the same
+tolerance, or the hybrid serving speedup below
+``BENCH_CHECK_HYBRID_MIN`` (default 10x, the hybrid layer's acceptance
+bar) or diverging from pure-DES counts.  The file is not rewritten;
+CI runs the check before regenerating the record.
 """
 
 from __future__ import annotations
@@ -160,6 +166,56 @@ def des_microbench(processes: int = 100, rounds: int = 200) -> dict:
     }
 
 
+#: Arrival-window length of the serving benchmark.  Long enough that
+#: the hybrid engine's guard phase (real DES until the steadiness
+#: predicate holds) amortizes and the analytic fast-forward dominates.
+SERVING_DURATION_NS = 6_000_000.0
+
+
+def serving_bench() -> dict:
+    """Wall-clock of the mixed-tenant serving run: pure DES vs hybrid.
+
+    Both engines run the same adaptive scheduler scenario; the hybrid
+    engine must reproduce the DES completion/rejection/loss counts
+    *exactly* (its faithfulness contract — see docs/performance.md and
+    ``python -m repro crosscheck``), so the recorded speedup is a
+    same-answer speedup, not an approximation trade.
+    """
+    from repro.sched.serve import ServeSession, mixed_tenant_workload
+
+    def run(engine):
+        session = ServeSession(
+            mixed_tenant_workload(duration_ns=SERVING_DURATION_NS, seed=0),
+            engine=engine)
+        start = time.perf_counter()
+        session.run_to_completion()
+        wall = time.perf_counter() - start
+        return session.finalize(), wall, session.cluster.sim.events_executed
+
+    des_report, des_s, des_events = run("event")
+    hyb_report, hyb_s, hyb_events = run("hybrid")
+    counts = lambda r: {name: (t.completed, t.rejected, t.lost)  # noqa: E731
+                        for name, t in r.tenants.items()}
+    totals = counts(des_report)
+    return {
+        "des_serving": {
+            "duration_ns": SERVING_DURATION_NS,
+            "wall_s": round(des_s, 4),
+            "events": des_events,
+            "events_per_sec": round(des_events / des_s),
+            "completed": sum(c for c, _r, _l in totals.values()),
+            "rejected": sum(r for _c, r, _l in totals.values()),
+        },
+        "hybrid_serving": {
+            "wall_s": round(hyb_s, 4),
+            "events": hyb_events,
+            "speedup_vs_des": round(des_s / hyb_s, 2),
+            "counts_match_des": counts(hyb_report) == totals,
+            "stats": hyb_report.hybrid_stats,
+        },
+    }
+
+
 def time_suite() -> float:
     """Wall-clock of the full pytest-benchmark suite, seconds."""
     env = dict(os.environ)
@@ -190,9 +246,21 @@ def timed_smoke(testbed, reps: int = 1):
     return points, cold_s, warm_s
 
 
-def check_regression(recorded_path: str, cold_s: float) -> int:
-    """Exit status: 1 when the cold smoke sweep regressed past tolerance."""
+def check_regression(recorded_path: str, cold_s: float, des_eps: float,
+                     serving: dict) -> int:
+    """Exit status: 1 when any recorded performance bar regressed.
+
+    Three gates, all against the recorded ``BENCH_sweep.json``:
+
+    * cold smoke-sweep wall-time within ``BENCH_CHECK_TOLERANCE``;
+    * DES hot-loop events/sec monotone (no worse than the record,
+      minus the same tolerance);
+    * the hybrid serving engine at least ``BENCH_CHECK_HYBRID_MIN``
+      (default 10) times faster than pure DES *while reproducing its
+      counts exactly* — the acceptance bar of the hybrid layer.
+    """
     tolerance = float(os.environ.get("BENCH_CHECK_TOLERANCE", "0.25"))
+    hybrid_min = float(os.environ.get("BENCH_CHECK_HYBRID_MIN", "10.0"))
     try:
         with open(recorded_path) as handle:
             recorded = json.load(handle)
@@ -201,12 +269,36 @@ def check_regression(recorded_path: str, cold_s: float) -> int:
         print(f"bench check skipped: no usable baseline in "
               f"{recorded_path} ({exc})")
         return 0
+    failures = 0
+
     limit = baseline * (1.0 + tolerance)
     verdict = "OK" if cold_s <= limit else "REGRESSED"
+    failures += cold_s > limit
     print(f"bench check: cold smoke sweep {cold_s:.4f} s vs recorded "
           f"{baseline:.4f} s (limit {limit:.4f} s, "
           f"tolerance {tolerance:.0%}) -> {verdict}")
-    return 0 if cold_s <= limit else 1
+
+    recorded_eps = float(recorded.get("des", {}).get("events_per_sec", 0.0))
+    if recorded_eps:
+        floor = recorded_eps * (1.0 - tolerance)
+        verdict = "OK" if des_eps >= floor else "REGRESSED"
+        failures += des_eps < floor
+        print(f"bench check: DES hot loop {des_eps:,.0f} events/s vs "
+              f"recorded {recorded_eps:,.0f} (floor {floor:,.0f}) "
+              f"-> {verdict}")
+
+    hybrid = serving["hybrid_serving"]
+    speedup = hybrid["speedup_vs_des"]
+    verdict = "OK" if speedup >= hybrid_min else "REGRESSED"
+    failures += speedup < hybrid_min
+    print(f"bench check: hybrid serving {speedup:.1f}x vs pure DES "
+          f"(floor {hybrid_min:.1f}x) -> {verdict}")
+    if not hybrid["counts_match_des"]:
+        failures += 1
+        print("bench check: hybrid serving counts DIVERGED from pure DES "
+              "-> FAITHFULNESS BROKEN")
+
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -232,7 +324,9 @@ def main(argv=None) -> int:
 
     points, cold_s, warm_s = timed_smoke(testbed, reps=reps)
     if args.check:
-        return check_regression(args.out, cold_s)
+        return check_regression(args.out, cold_s,
+                                des_microbench()["events_per_sec"],
+                                serving_bench())
 
     caches = {
         cache.name: {
@@ -256,6 +350,9 @@ def main(argv=None) -> int:
         },
         "vector_sweep": vector_sweep(testbed),
         "des": des_microbench(),
+        # Pure DES vs the hybrid analytic/DES serving engine on the
+        # same adaptive multi-tenant scenario (same-answer speedup).
+        **serving_bench(),
         # Goodput under injected packet loss (DES + RC retransmission);
         # the 0.0 row doubles as the pay-as-you-go reference.
         "faulted_sweep": faulted_sweep(rates=(0.0, 0.001, 0.01)),

@@ -156,9 +156,14 @@ class Session:
         """Run the online path scheduler over tenant streams.
 
         Accepts every :func:`repro.sched.run_serve` keyword
-        (``adaptive=``, ``faults=``, ``trace=`` ...) and returns its
-        :class:`~repro.sched.ServeReport`.
+        (``adaptive=``, ``faults=``, ``engine=``, ``trace=`` ...) and
+        returns its :class:`~repro.sched.ServeReport`.  When the
+        session was built with ``RunOptions(engine="hybrid")`` and no
+        explicit ``engine=`` is passed, the serving run uses the
+        analytic/DES hybrid engine (docs/performance.md).
         """
         from repro.sched import run_serve
 
+        if "engine" not in kwargs and self.options.engine == "hybrid":
+            kwargs["engine"] = "hybrid"
         return run_serve(tenants, testbed=self.testbed, **kwargs)

@@ -17,7 +17,11 @@ Commands:
 * ``trace-gen`` / ``trace-solve`` — generate a JSONL request trace and
   solve its aggregate throughput.
 * ``serve`` — run the online path scheduler over a multi-tenant
-  workload (adaptive vs ``--static``; see docs/scheduling.md).
+  workload (adaptive vs ``--static``; ``--engine hybrid`` fast-forwards
+  steady state analytically; see docs/scheduling.md).
+* ``crosscheck`` — grade the hybrid serving engine against the pure-DES
+  reference over the standard scenario families (exact counts +
+  toleranced latencies; see docs/performance.md).
 
 ``compare`` accepts ``--nic`` to pick a catalog device
 (bluefield-2 default, bluefield-3, stingray-ps225).
@@ -206,10 +210,29 @@ def _build_parser() -> argparse.ArgumentParser:
                         "into the run")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed of the injector's RNG streams")
+    p.add_argument("--engine", choices=["event", "hybrid"], default="event",
+                   help="serving engine: 'event' is the pure-DES "
+                        "reference, 'hybrid' fast-forwards steady-state "
+                        "windows analytically (docs/performance.md)")
     p.add_argument("--decisions", action="store_true",
                    help="append the scheduler's decision log")
     p.add_argument("--json", action="store_true",
                    help="emit the per-tenant rows as JSON instead of a table")
+
+    p = sub.add_parser("crosscheck",
+                       help="grade the hybrid serving engine against "
+                            "pure DES")
+    p.add_argument("--duration", type=float, default=1_500_000.0,
+                   help="arrival-window length in ns (default 1.5 ms)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed of the tenants' request streams")
+    p.add_argument("--scenario", action="append", dest="scenarios",
+                   metavar="NAME", default=None,
+                   help="run only this scenario family (repeatable; "
+                        "default: all of adaptive, static, soc-crash, "
+                        "crash-recover, packet-loss)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the graded results as JSON instead of a table")
     return parser
 
 
@@ -548,17 +571,24 @@ def _cmd_serve(args) -> str:
     tenants = mixed_tenant_workload(duration_ns=args.duration,
                                     seed=args.seed)
     report = run_serve(tenants, adaptive=not args.static, faults=plan,
-                       fault_seed=args.fault_seed)
+                       fault_seed=args.fault_seed, engine=args.engine)
     if args.json:
         rows = [vars(t) for t in report.tenants.values()]
         return json.dumps({"adaptive": report.adaptive,
                            "elapsed_ns": report.elapsed_ns,
+                           "engine": report.engine,
+                           "hybrid_stats": report.hybrid_stats,
                            "tenants": rows,
                            "path_gbps": report.path_gbps}, indent=2)
     parts = [report.table()]
     gbps = ", ".join(f"{path}: {rate:.1f}"
                      for path, rate in sorted(report.path_gbps.items()))
     parts.append(f"steady-state Gbps per path: {gbps}")
+    if report.hybrid_stats is not None:
+        stats = ", ".join(f"{key}: {value}"
+                          for key, value in sorted(
+                              report.hybrid_stats.items()))
+        parts.append(f"hybrid engine: {stats}")
     if args.decisions:
         lines = ["scheduler decisions"]
         for d in report.decisions:
@@ -567,6 +597,48 @@ def _cmd_serve(args) -> str:
                 f"-> {d.to_path.value}/{d.to_responder}  [{d.reason}]")
         parts.append("\n".join(lines))
     return "\n\n".join(parts)
+
+
+def _cmd_crosscheck(args) -> str:
+    from repro.sim.crosscheck import crosscheck_suite
+
+    results = crosscheck_suite(duration_ns=args.duration, seed=args.seed,
+                               scenarios=args.scenarios)
+    if args.json:
+        return json.dumps([{
+            "scenario": r.scenario,
+            "ok": r.ok,
+            "speedup": r.speedup,
+            "decisions_ok": r.decisions_ok,
+            "decision_p99_err": r.decision_p99_err,
+            "hybrid_stats": r.hybrid_stats,
+            "failures": list(r.failures()),
+            "tenants": [vars(t) for t in r.tenants],
+        } for r in results], indent=2)
+    rows = []
+    for r in results:
+        rows.append([
+            r.scenario,
+            "PASS" if r.ok else "FAIL",
+            f"{r.speedup:.1f}x",
+            "exact" if all(t.counts_ok for t in r.tenants) else "DIFFER",
+            "exact" if r.decisions_ok else "DIFFER",
+            f"{max((t.p99_err for t in r.tenants), default=0.0):.0%}",
+            f"{max((t.goodput_err for t in r.tenants), default=0.0):.0%}",
+            str(r.hybrid_stats.get("flips", 0)),
+        ])
+    table = format_table(
+        ["scenario", "verdict", "speedup", "counts", "decisions",
+         "max p99 err", "max gput err", "flips"],
+        rows, title="hybrid engine vs pure DES "
+                    f"({args.duration:.0f} ns, seed {args.seed})")
+    failed = [r for r in results if not r.ok]
+    if failed:
+        details = "; ".join(
+            f"{r.scenario}: {', '.join(r.failures())}" for r in failed)
+        print(table)
+        raise ValueError(f"crosscheck failed — {details}")
+    return table
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -584,6 +656,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace-gen": _cmd_trace_gen,
         "trace-solve": _cmd_trace_solve,
         "serve": _cmd_serve,
+        "crosscheck": _cmd_crosscheck,
     }
     try:
         print(handlers[args.command](args))

@@ -27,7 +27,10 @@ class RunOptions:
     """Normalized evaluation options for model sweeps and benches.
 
     * ``engine`` — solver backend: ``"scalar"``, ``"vector"`` or
-      ``"auto"`` (pick vector when numpy is importable).
+      ``"auto"`` (pick vector when numpy is importable).  ``"hybrid"``
+      solves like ``"auto"`` and additionally switches
+      :meth:`repro.api.Session.serve` to the analytic/DES hybrid
+      serving engine (see docs/performance.md).
     * ``jobs`` — scalar-engine process-pool width (0/1 = in-process).
     * ``chunk_size`` — points per pool task (None = auto).
     * ``cache`` — use the content-keyed solver result cache.
@@ -87,7 +90,9 @@ class RunOptions:
             help="solver backend: 'vector' batches the whole grid "
                  "through the numpy demand tensor, 'scalar' solves "
                  "per point, 'auto' (default) picks vector when "
-                 "numpy is installed")
+                 "numpy is installed; 'hybrid' solves like 'auto' "
+                 "and makes Session.serve use the analytic/DES "
+                 "hybrid serving engine")
         parser.add_argument(
             "--profile", action="store_true",
             help="append a per-stage wall-time breakdown "

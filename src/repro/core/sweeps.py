@@ -53,7 +53,10 @@ from repro.net.topology import Testbed
 #: A latency sweep point: (path, op, payload, range_bytes).
 LatencyPoint = Tuple[CommPath, Opcode, int, float]
 
-ENGINES = ("scalar", "vector", "auto")
+#: ``scalar``/``vector``/``auto`` pick the solver backend; ``hybrid``
+#: additionally selects the analytic/DES serving engine in
+#: :meth:`repro.api.Session.serve` (solver sweeps treat it as ``auto``).
+ENGINES = ("scalar", "vector", "auto", "hybrid")
 
 
 class StageTimings:
@@ -154,7 +157,11 @@ class SweepRunner:
     ``"vector"`` solves the whole point list as one numpy demand tensor
     (raising ``ValueError`` when numpy is missing), and ``"auto"`` —
     the default — picks vector when numpy is importable and the sweep
-    has at least two points, scalar otherwise.  ``vectorized=True`` is
+    has at least two points, scalar otherwise.  ``"hybrid"`` behaves
+    like ``"auto"`` for solver work — it exists so one
+    :class:`~repro.core.options.RunOptions` can also select the
+    analytic/DES serving engine (see docs/performance.md).
+    ``vectorized=True`` is
     accepted as a deprecated alias for ``engine="vector"`` (it warns;
     use ``engine=`` or :class:`~repro.core.options.RunOptions`).  All
     backends return
@@ -209,7 +216,7 @@ class SweepRunner:
         """The backend a solver sweep of ``n_points`` will use."""
         if self.engine == "vector":
             return "vector"
-        if (self.engine == "auto" and n_points >= 2
+        if (self.engine in ("auto", "hybrid") and n_points >= 2
                 and batch_engine.numpy_available()):
             return "vector"
         return "scalar"

@@ -120,6 +120,10 @@ class ServingRuntime:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate tenant names: {names}")
         self.completions: List[CompletionRecord] = []
+        # Hybrid-engine hook (repro.sim.hybrid).  None on pure-DES runs:
+        # every touch point guards with one ``is not None`` check, so
+        # the default engine's event sequence is untouched.
+        self.hybrid = None
         self._tenants: Dict[str, _TenantState] = {}
         clients = [n.name for n in cluster.clients()]
         client_i = 0
@@ -229,17 +233,35 @@ class ServingRuntime:
     # -- data plane ---------------------------------------------------------
 
     def _arrivals(self, t: _TenantState):
-        """Open-loop arrival process with bounded-queue admission."""
+        """Open-loop arrival process with bounded-queue admission.
+
+        The relative ``timeout(interval_ns)`` stepping is load-bearing:
+        arrival instants accumulate float rounding one hop at a time,
+        and the pure-DES bit-identity contract pins that exact sequence.
+        The hybrid handover below is the only absolute-time splice, and
+        it only runs under ``engine="hybrid"``.
+        """
         spec = t.spec
-        for seq in range(spec.requests):
+        seq = 0
+        while seq < spec.requests:
             yield self.sim.timeout(spec.interval_ns)
+            hybrid = self.hybrid
+            if hybrid is not None and hybrid.wants(t):
+                # Hand the stream to the analytic recurrence.  It
+                # synthesizes arrivals from ``seq`` onward and resumes
+                # us at the exact instant of the first event-mode
+                # arrival (or past the end of the stream).
+                seq = yield from hybrid.handover(t, seq)
+                if seq >= spec.requests:
+                    break
             op, _payload, _addr = next(t.stream)
             if len(t.queue) >= spec.queue_limit:
                 self.tracker.observe_reject(spec.name, self.sim.now)
                 self.cluster.bump("sched.rejected")
-                continue
-            t.admitted += 1
-            t.queue.put((seq, op, self.sim.now))
+            else:
+                t.admitted += 1
+                t.queue.put((seq, op, self.sim.now))
+            seq += 1
         t.arrivals_done = True
         for _ in range(spec.workers):
             t.queue.put(None)            # wake idle workers to exit
@@ -249,6 +271,13 @@ class ServingRuntime:
             item = yield t.queue.get()
             if item is None:
                 return
+            if item[0] == "hold":
+                # Hybrid splice-back: this worker stands in for an
+                # analytic in-flight request until its completion time.
+                until = item[1]
+                if until > self.sim.now:
+                    yield self.sim.timeout(until - self.sim.now)
+                continue
             seq, op, arrived_ns = item
             yield from self._serve_one(t, wid, seq, op, arrived_ns)
 
@@ -278,6 +307,7 @@ class ServingRuntime:
             qp, peer = t.qps[wid]
             if qp.state is QPState.ERROR:
                 qp.recover()
+            posted_ns = self.sim.now
             wr = next(t.wr_ids)
             if op is Opcode.READ:
                 work = qp.post_read(wr, t.local_mrs[wid],
@@ -291,6 +321,12 @@ class ServingRuntime:
             yield work
             ok = any(c.wr_id == wr and c.ok for c in qp.send_cq.poll())
             if ok:
+                hybrid = self.hybrid
+                if hybrid is not None:
+                    # Feed the empirical service-time profile: post →
+                    # completion, net of queue wait and bucket pacing.
+                    hybrid.record_service(t.spec.name, op,
+                                          self.sim.now - posted_ns)
                 self._finish(t, seq, op, arrived_ns, ok=True,
                              attempts=attempts)
                 return

@@ -42,6 +42,10 @@ class PathScheduler:
         self.interval_ns = interval_ns
         self.tracer = tracer
         self.decisions: List[Decision] = []
+        # Hybrid-engine listener: called with each post-placement
+        # Decision so the controller can open a guard window around the
+        # transient.  None on pure-DES runs (no events either way).
+        self.on_decision = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -89,6 +93,8 @@ class PathScheduler:
             self._record(spec.name, kind, placement, lease.generation,
                          from_path=from_path, from_responder=from_responder,
                          observed_p99_ns=stats.p99_ns)
+            if self.on_decision is not None:
+                self.on_decision(self.decisions[-1])
 
     # -- attribution --------------------------------------------------------
 

@@ -68,6 +68,8 @@ class ServeReport:
     path_gbps: Dict[str, float]          # steady-state delivered per path
     counters: Dict[str, float] = field(default_factory=dict)
     tracer: Optional[Tracer] = None
+    engine: str = "event"
+    hybrid_stats: Optional[Dict[str, int]] = None
 
     @property
     def worst_p99_ns(self) -> float:
@@ -158,6 +160,110 @@ def _static_placement(spec: TenantSpec,
                      reason="static", advice_refs=placed.advice_refs)
 
 
+class ServeSession:
+    """The serving stack, wired and ready to run.
+
+    :func:`run_serve` drives one to completion in a single call.
+    Sharded execution (:mod:`repro.sim.shard`) instead steps sessions
+    window by window via :meth:`advance`, keeping shard processes in
+    conservative time lockstep.
+    """
+
+    def __init__(self, tenants: Sequence[TenantSpec], adaptive: bool = True,
+                 static_assignment: Optional[Dict[str, CommPath]] = None,
+                 testbed: Optional[Testbed] = None,
+                 faults: Optional[FaultPlan] = None, fault_seed: int = 0,
+                 interval_ns: float = 20_000.0,
+                 window_ns: float = 100_000.0,
+                 cooldown_ns: float = 60_000.0,
+                 warmup_ns: Optional[float] = None,
+                 trace: bool = False, engine: str = "event",
+                 hybrid_config=None):
+        if engine not in ("event", "hybrid"):
+            raise ValueError(f"unknown serve engine {engine!r}; "
+                             "expected 'event' or 'hybrid'")
+        tenants = tuple(tenants)
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        self.adaptive = adaptive
+        self.engine = engine
+        self.interval_ns = interval_ns
+        self.warmup_ns = warmup_ns
+        testbed = testbed or paper_testbed()
+        n_clients = max(1, sum(1 for t in tenants if not t.bulk))
+        self.tenants = tenants
+        self.cluster = SimCluster(testbed, n_clients=n_clients, nic="snic")
+        self.tracer = Tracer().install(self.cluster) if trace else None
+        self.telemetry = Telemetry(self.cluster)
+        if faults is not None and not faults.empty:
+            self.cluster.install_faults(faults, seed=fault_seed)
+        self.ctx = RdmaContext(self.cluster)
+        self.tracker = SloTracker(tenants, window_ns=window_ns)
+        self.runtime = ServingRuntime(self.cluster, self.ctx, tenants,
+                                      self.tracker)
+        self.policy = PathPolicy(testbed, cooldown_ns=cooldown_ns)
+        self._telemetry_start = self.telemetry.snapshot()
+
+        self.decisions: List[Decision] = []
+        scheduler = None
+        if adaptive:
+            scheduler = PathScheduler(self.runtime, self.policy,
+                                      self.tracker, interval_ns=interval_ns,
+                                      tracer=self.tracer)
+            scheduler.start()
+            self.decisions = scheduler.decisions
+        else:
+            for spec in tenants:
+                self.runtime.place(spec, _static_placement(
+                    spec, static_assignment, self.policy))
+
+        self.controller = None
+        if engine == "hybrid":
+            from repro.sim.hybrid import HybridController
+            self.controller = HybridController(
+                self.runtime, self.tracker, faults=faults,
+                tick_ns=interval_ns, config=hybrid_config).install()
+            if scheduler is not None:
+                scheduler.on_decision = self.controller.on_decision
+
+    @property
+    def done(self) -> bool:
+        """No more events: every stream served, every process exited."""
+        return self.cluster.sim.peek() == float("inf")
+
+    def advance(self, until: float) -> bool:
+        """Run up to ``until`` ns of simulated time; True when drained.
+
+        Once drained, further calls are no-ops and the clock stays at
+        the last window boundary.
+        """
+        if not self.done:
+            self.cluster.sim.run(until=until)
+        return self.done
+
+    def run_to_completion(self) -> None:
+        self.cluster.sim.run()
+
+    def finalize(self) -> ServeReport:
+        elapsed = self.cluster.sim.now
+        warmup = (self.warmup_ns if self.warmup_ns is not None
+                  else 2 * self.interval_ns)
+        return ServeReport(
+            adaptive=self.adaptive,
+            elapsed_ns=elapsed,
+            tenants=_tenant_reports(self.tenants, self.runtime,
+                                    self.tracker, self.decisions),
+            decisions=self.decisions,
+            path_gbps=_path_gbps(self.runtime, warmup),
+            counters=dict(self.telemetry.delta(
+                self._telemetry_start).deltas),
+            tracer=self.tracer,
+            engine=self.engine,
+            hybrid_stats=(self.controller.stats()
+                          if self.controller is not None else None),
+        )
+
+
 def run_serve(tenants: Sequence[TenantSpec], adaptive: bool = True,
               static_assignment: Optional[Dict[str, CommPath]] = None,
               testbed: Optional[Testbed] = None,
@@ -165,53 +271,30 @@ def run_serve(tenants: Sequence[TenantSpec], adaptive: bool = True,
               interval_ns: float = 20_000.0, window_ns: float = 100_000.0,
               cooldown_ns: float = 60_000.0,
               warmup_ns: Optional[float] = None,
-              trace: bool = False) -> ServeReport:
+              trace: bool = False, engine: str = "event",
+              hybrid_config=None) -> ServeReport:
     """Serve every tenant stream to completion and report.
 
     ``warmup_ns`` bounds the steady-state window for per-path bandwidth
     accounting (defaults to two control ticks); completions before it
     still count toward per-tenant totals.
+
+    ``engine`` selects the execution strategy: ``"event"`` (the default
+    pure DES — bit-identical run to run) or ``"hybrid"``, which
+    installs a :class:`~repro.sim.hybrid.HybridController` that
+    fast-forwards steady-state stretches through the operational-law
+    recurrence (exact completion counts, latencies within the declared
+    tolerances — see ``docs/performance.md``).  ``hybrid_config``
+    optionally overrides :class:`~repro.sim.hybrid.HybridConfig`.
     """
-    tenants = tuple(tenants)
-    if not tenants:
-        raise ValueError("need at least one tenant")
-    testbed = testbed or paper_testbed()
-    n_clients = max(1, sum(1 for t in tenants if not t.bulk))
-    cluster = SimCluster(testbed, n_clients=n_clients, nic="snic")
-    tracer = Tracer().install(cluster) if trace else None
-    telemetry = Telemetry(cluster)
-    if faults is not None and not faults.empty:
-        cluster.install_faults(faults, seed=fault_seed)
-    ctx = RdmaContext(cluster)
-    tracker = SloTracker(tenants, window_ns=window_ns)
-    runtime = ServingRuntime(cluster, ctx, tenants, tracker)
-    policy = PathPolicy(testbed, cooldown_ns=cooldown_ns)
-    start = telemetry.snapshot()
-
-    decisions: List[Decision] = []
-    if adaptive:
-        scheduler = PathScheduler(runtime, policy, tracker,
-                                  interval_ns=interval_ns, tracer=tracer)
-        scheduler.start()
-        decisions = scheduler.decisions
-    else:
-        for spec in tenants:
-            runtime.place(spec, _static_placement(
-                spec, static_assignment, policy))
-
-    cluster.sim.run()
-
-    elapsed = cluster.sim.now
-    warmup = warmup_ns if warmup_ns is not None else 2 * interval_ns
-    return ServeReport(
-        adaptive=adaptive,
-        elapsed_ns=elapsed,
-        tenants=_tenant_reports(tenants, runtime, tracker, decisions),
-        decisions=decisions,
-        path_gbps=_path_gbps(runtime, warmup),
-        counters=dict(telemetry.delta(start).deltas),
-        tracer=tracer,
-    )
+    session = ServeSession(
+        tenants, adaptive=adaptive, static_assignment=static_assignment,
+        testbed=testbed, faults=faults, fault_seed=fault_seed,
+        interval_ns=interval_ns, window_ns=window_ns,
+        cooldown_ns=cooldown_ns, warmup_ns=warmup_ns, trace=trace,
+        engine=engine, hybrid_config=hybrid_config)
+    session.run_to_completion()
+    return session.finalize()
 
 
 def _tenant_reports(tenants: Sequence[TenantSpec], runtime: ServingRuntime,

@@ -9,6 +9,7 @@ per-tenant histograms off a serving binary.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Tuple
@@ -66,6 +67,39 @@ class SloTracker:
         """Feed one bounced arrival (queue full)."""
         self._rejects[tenant].append(now)
         self.rejected[tenant] += 1
+
+    def merge(self, other: "SloTracker") -> "SloTracker":
+        """Fold another tracker's observations into this one, in place.
+
+        Sharded runs give each shard its own tracker; the parent merges
+        them into one report-wide view.  Window sizes must agree.  For
+        tenants present on both sides the event and reject streams are
+        merged in time order, so :meth:`window` pruning stays monotone
+        and quantiles over the union window come out the same as if one
+        tracker had observed every completion.
+        """
+        if other.window_ns != self.window_ns:
+            raise ValueError(
+                f"cannot merge trackers with different windows: "
+                f"{self.window_ns} vs {other.window_ns}")
+        for name, spec in other._specs.items():
+            if name not in self._specs:
+                self._specs[name] = spec
+                self._events[name] = deque(other._events[name])
+                self._rejects[name] = deque(other._rejects[name])
+                self.completed[name] = other.completed[name]
+                self.rejected[name] = other.rejected[name]
+                self.lost[name] = other.lost[name]
+                continue
+            self._events[name] = deque(heapq.merge(
+                self._events[name], other._events[name],
+                key=lambda ev: ev[0]))
+            self._rejects[name] = deque(heapq.merge(
+                self._rejects[name], other._rejects[name]))
+            self.completed[name] += other.completed[name]
+            self.rejected[name] += other.rejected[name]
+            self.lost[name] += other.lost[name]
+        return self
 
     def window(self, tenant: str, now: float) -> WindowStats:
         """The tenant's stats over ``[now - window, now]``."""

@@ -1,0 +1,220 @@
+"""Engine cross-checking: prove the hybrid engine against pure DES.
+
+The hybrid engine's contract (docs/performance.md) is tiered:
+
+* **exact** — completed / rejected / lost counts per tenant, and the
+  *structure* of the scheduler's decision log (time, tenant, kind,
+  paths, reason, generation);
+* **toleranced** — p50/p99 latency and goodput per tenant, and the
+  ``observed_p99_ns`` attribution field on decisions, each within the
+  relative bounds declared by
+  :class:`~repro.sim.hybrid.HybridConfig` (``latency_tol`` /
+  ``goodput_tol``).
+
+:func:`crosscheck` runs one scenario under both engines and grades
+every clause of that contract; :func:`crosscheck_suite` sweeps the
+standard scenario families (steady adaptive/static runs, SoC crash,
+crash + recovery, a packet-loss window).  The CLI exposes it as
+``python -m repro crosscheck`` and ``scripts/bench_trajectory.py
+--check`` gates on it, so a hybrid change that drifts outside the
+declared tolerances fails loudly rather than silently skewing results.
+
+Scenarios are passed as zero-argument *factories* because
+:class:`~repro.sched.tenant.TenantSpec` carries live RNG streams —
+each engine run must consume a fresh copy or the second run would see
+different arrivals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.faults.plan import FaultPlan, PacketLoss, SocCrash
+from repro.sched.serve import ServeReport, run_serve
+from repro.sim.hybrid import HybridConfig
+
+#: Fields of ``Decision.as_tuple()`` compared bit-exactly (everything
+#: but ``observed_p99_ns``, which is a windowed-telemetry attribution
+#: and only required to agree within ``latency_tol``).
+_P99_INDEX = 9
+
+
+def _rel_err(got: float, want: float) -> float:
+    """Relative error with a floor so 0-vs-0 compares clean."""
+    scale = max(abs(want), 1e-9)
+    return abs(got - want) / scale
+
+
+@dataclass(frozen=True)
+class TenantCheck:
+    """Per-tenant verdict: exact counts plus toleranced percentiles."""
+
+    name: str
+    counts_ok: bool
+    p50_err: float
+    p99_err: float
+    goodput_err: float
+    latency_tol: float
+    goodput_tol: float
+
+    @property
+    def ok(self) -> bool:
+        return (self.counts_ok and self.p50_err <= self.latency_tol
+                and self.p99_err <= self.latency_tol
+                and self.goodput_err <= self.goodput_tol)
+
+
+@dataclass(frozen=True)
+class CrossCheck:
+    """The graded contract for one scenario run under both engines."""
+
+    scenario: str
+    tenants: Tuple[TenantCheck, ...]
+    decisions_ok: bool
+    decision_p99_err: float
+    latency_tol: float
+    des_seconds: float
+    hybrid_seconds: float
+    hybrid_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.des_seconds / max(self.hybrid_seconds, 1e-9)
+
+    @property
+    def ok(self) -> bool:
+        return (self.decisions_ok
+                and self.decision_p99_err <= self.latency_tol
+                and all(t.ok for t in self.tenants))
+
+    def failures(self) -> Tuple[str, ...]:
+        """Human-readable clause violations (empty when ``ok``)."""
+        out = []
+        if not self.decisions_ok:
+            out.append("decision log structure diverged")
+        if self.decision_p99_err > self.latency_tol:
+            out.append(f"decision observed_p99 drift "
+                       f"{self.decision_p99_err:.0%} > "
+                       f"{self.latency_tol:.0%}")
+        for t in self.tenants:
+            if not t.counts_ok:
+                out.append(f"{t.name}: completion/reject/loss counts differ")
+            if t.p50_err > t.latency_tol:
+                out.append(f"{t.name}: p50 drift {t.p50_err:.0%}")
+            if t.p99_err > t.latency_tol:
+                out.append(f"{t.name}: p99 drift {t.p99_err:.0%}")
+            if t.goodput_err > t.goodput_tol:
+                out.append(f"{t.name}: goodput drift {t.goodput_err:.0%}")
+        return tuple(out)
+
+
+def _check_decisions(des: ServeReport,
+                     hybrid: ServeReport) -> Tuple[bool, float]:
+    des_rows = [d.as_tuple() for d in des.decisions]
+    hyb_rows = [d.as_tuple() for d in hybrid.decisions]
+    if len(des_rows) != len(hyb_rows):
+        return False, float("inf")
+    worst = 0.0
+    for want, got in zip(des_rows, hyb_rows):
+        if (want[:_P99_INDEX] != got[:_P99_INDEX]
+                or want[_P99_INDEX + 1:] != got[_P99_INDEX + 1:]):
+            return False, float("inf")
+        worst = max(worst, _rel_err(got[_P99_INDEX], want[_P99_INDEX]))
+    return True, worst
+
+
+def crosscheck(scenario: str, factory: Callable[[], Sequence],
+               config: Optional[HybridConfig] = None,
+               **serve_kwargs) -> CrossCheck:
+    """Run ``factory()``'s tenants under both engines and grade them.
+
+    ``serve_kwargs`` go to both :func:`~repro.sched.serve.run_serve`
+    calls (``adaptive=``, ``faults=`` ...).  The hybrid run uses
+    ``config`` (default :class:`HybridConfig`), whose tolerances are
+    also the grading thresholds.
+    """
+    config = config or HybridConfig()
+    t0 = time.perf_counter()
+    des = run_serve(factory(), **serve_kwargs)
+    des_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    hyb = run_serve(factory(), engine="hybrid", hybrid_config=config,
+                    **serve_kwargs)
+    hybrid_seconds = time.perf_counter() - t0
+
+    tenants = []
+    for name in sorted(des.tenants):
+        want, got = des.tenants[name], hyb.tenants[name]
+        tenants.append(TenantCheck(
+            name=name,
+            counts_ok=(want.completed, want.rejected, want.lost)
+                      == (got.completed, got.rejected, got.lost),
+            p50_err=_rel_err(got.p50_ns, want.p50_ns),
+            p99_err=_rel_err(got.p99_ns, want.p99_ns),
+            goodput_err=_rel_err(got.goodput_gbps, want.goodput_gbps),
+            latency_tol=config.latency_tol,
+            goodput_tol=config.goodput_tol,
+        ))
+    decisions_ok, p99_err = _check_decisions(des, hyb)
+    return CrossCheck(
+        scenario=scenario,
+        tenants=tuple(tenants),
+        decisions_ok=decisions_ok,
+        decision_p99_err=p99_err,
+        latency_tol=config.latency_tol,
+        des_seconds=des_seconds,
+        hybrid_seconds=hybrid_seconds,
+        hybrid_stats=dict(hyb.hybrid_stats or {}),
+    )
+
+
+# -- the standard scenario families ------------------------------------------------
+
+
+def standard_scenarios(duration_ns: float = 1_500_000.0,
+                       seed: int = 0) -> Dict[str, Dict]:
+    """Named scenario families covering the hybrid engine's regimes.
+
+    Steady adaptive traffic (where fast-forwarding pays), the static
+    baseline (which must never flip — overloaded tenants reject), and
+    three fault shapes that force guard windows and splice-backs.
+    """
+    from repro.sched.serve import mixed_tenant_workload
+
+    def tenants():
+        return mixed_tenant_workload(duration_ns=duration_ns, seed=seed)
+
+    third, two_thirds = duration_ns / 3, 2 * duration_ns / 3
+    return {
+        "adaptive": dict(factory=tenants),
+        "static": dict(factory=tenants, adaptive=False),
+        "soc-crash": dict(factory=tenants, faults=FaultPlan(
+            faults=(SocCrash(at=third),))),
+        "crash-recover": dict(factory=tenants, faults=FaultPlan(
+            faults=(SocCrash(at=third, recover_at=two_thirds),))),
+        "packet-loss": dict(factory=tenants, faults=FaultPlan(
+            faults=(PacketLoss("net.server0", 0.02, start=third,
+                               end=two_thirds),))),
+    }
+
+
+def crosscheck_suite(duration_ns: float = 1_500_000.0, seed: int = 0,
+                     config: Optional[HybridConfig] = None,
+                     scenarios: Optional[Sequence[str]] = None,
+                     ) -> Tuple[CrossCheck, ...]:
+    """Cross-check every standard scenario family (or a named subset)."""
+    families = standard_scenarios(duration_ns=duration_ns, seed=seed)
+    if scenarios:
+        unknown = set(scenarios) - families.keys()
+        if unknown:
+            raise ValueError(f"unknown scenario(s) {sorted(unknown)}; "
+                             f"choose from {sorted(families)}")
+        families = {name: families[name] for name in scenarios}
+    results = []
+    for name, spec in families.items():
+        kwargs = dict(spec)
+        factory = kwargs.pop("factory")
+        results.append(crosscheck(name, factory, config=config, **kwargs))
+    return tuple(results)

@@ -111,6 +111,19 @@ class Simulator:
         queue = self._queue
         pop = heapq.heappop
         fired = 0
+        if until is None and max_events is None:
+            # Hot path: the horizon and budget guards are hoisted out of
+            # the loop entirely — a drain-to-empty run (every serving
+            # run, every cross-check) pays only pop + fire per event.
+            try:
+                while queue:
+                    when, _order, event = pop(queue)
+                    self._now = when
+                    fired += 1
+                    event._fire()
+            finally:
+                self._event_count += fired
+            return
         try:
             while queue:
                 if max_events is not None and fired >= max_events:

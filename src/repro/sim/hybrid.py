@@ -1,0 +1,496 @@
+"""Hybrid analytic/DES execution for serving runs.
+
+The serving stack spends almost all of its events inside steady-state
+stretches: tenants admitted at fixed intervals, workers draining
+queues whose service times repeat the same congestion sawtooth, the
+scheduler ticking without deciding anything.  Event-level simulation
+re-derives that equilibrium ~50 events per request; the operational
+laws predict it in O(1) per request.
+
+:class:`HybridController` exploits this.  It watches a live
+:class:`~repro.sched.runtime.ServingRuntime` and flips the whole run
+between two modes:
+
+* **GUARD** — plain DES.  Every run starts here, and every transient
+  (fault window, scheduler decision, SoC crash) forces the run back
+  here for a guard window, so transient behaviour is always simulated
+  at event level.  While guarded, the runtime feeds the controller an
+  empirical *service-time profile* per ``(tenant, op, lease
+  generation)`` — post-to-completion durations net of queue wait and
+  token-bucket pacing.
+
+* **ANALYTIC** — fast-forward.  Once the run has been steady for
+  ``stable_ticks`` control ticks (enough window samples per tenant, no
+  new losses, no fault window within lookahead), the controller drains
+  each tenant's admission queue into a deterministic recurrence and
+  takes over the arrival processes via a handover protocol
+  (:meth:`ServingRuntime._arrivals` cooperates).  Per synthesized
+  arrival it replays the admission check, the shared token bucket and
+  a cyclic replay of the recorded service profile — advancing
+  completion counts, the :class:`~repro.sched.slo.SloTracker` windows
+  and the clock without scheduling events.  Only the control ticks
+  remain at event level (~6 events per tick instead of thousands).
+
+Faithfulness contract (checked by ``repro.sim.crosscheck`` and the
+property tests):
+
+* pure-DES runs are **bit-identical** to a build without this module —
+  the runtime's hooks are ``None`` and dormant;
+* hybrid runs match pure DES **exactly** on completion / rejection /
+  loss counts and on decision logs;
+* p50/p99 latency and goodput agree within the declared tolerances of
+  :class:`HybridConfig` (the analytic segment replays profiles, so
+  individual latencies are re-sampled, not re-derived).
+
+Known, documented divergences: per-component telemetry counters (the
+analytic segment posts no verbs), work-request ids, and profile
+staleness across a tenant's stream end.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.paths import Opcode
+from repro.sched.tenant import CompletionRecord
+from repro.sim.events import URGENT
+from repro.units import gib_per_s
+
+#: Mode names (kept as plain strings for cheap comparison and repr).
+GUARD = "guard"
+ANALYTIC = "analytic"
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Tuning knobs and the declared tolerance contract."""
+
+    #: DES guard window re-opened around every transient, in ns.
+    guard_ns: float = 40_000.0
+    #: Consecutive steady control ticks required before fast-forwarding.
+    stable_ticks: int = 2
+    #: Minimum rolling-window completions per tenant (and minimum
+    #: service-profile samples per op) before its behaviour counts as
+    #: characterized.
+    min_samples: int = 4
+    #: How far ahead of a tick a fault window must be to stay analytic.
+    lookahead_ns: float = 20_000.0
+    #: Ring size of the per-(tenant, op, generation) service profile.
+    max_profile: int = 512
+    #: Max relative p50/p99 movement between consecutive ticks for a
+    #: tick to count as steady (rules out still-filling queues).
+    drift_tol: float = 0.25
+    #: Declared relative tolerance on p50/p99 vs pure DES.
+    latency_tol: float = 0.35
+    #: Declared relative tolerance on goodput vs pure DES.
+    goodput_tol: float = 0.15
+
+    def __post_init__(self):
+        if self.guard_ns < 0 or self.lookahead_ns < 0:
+            raise ValueError("guard/lookahead windows must be >= 0")
+        if self.stable_ticks < 1:
+            raise ValueError(f"stable_ticks must be >= 1: {self.stable_ticks}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1: {self.min_samples}")
+        for name in ("drift_tol", "latency_tol", "goodput_tol"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be >= 0: {getattr(self, name)}")
+
+
+class _AnalyticTenant:
+    """One tenant's deterministic recurrence state while fast-forwarded."""
+
+    __slots__ = ("state", "queue", "worker_free", "pending", "sentinels",
+                 "armed", "next_seq", "next_at", "resume", "profiles",
+                 "cursors", "degraded_service")
+
+    def __init__(self, state, backlog, sentinels, now, n_workers,
+                 profiles, degraded_service):
+        self.state = state                  # the runtime's _TenantState
+        self.queue = backlog                # admitted, not yet picked up
+        self.worker_free = [now] * n_workers
+        heapq.heapify(self.worker_free)
+        self.pending: List[tuple] = []      # (end, seq, op, arrived, degr)
+        self.sentinels = sentinels          # drained worker-exit Nones
+        self.armed = False                  # arrival proc handed over?
+        self.next_seq = state.spec.requests
+        self.next_at = now
+        self.resume = None                  # handover resume event
+        self.profiles: Dict[Opcode, Tuple[float, ...]] = profiles
+        self.cursors: Dict[Opcode, int] = {op: 0 for op in profiles}
+        self.degraded_service = degraded_service
+
+    def draw(self, op: Opcode) -> float:
+        """Next service time: cyclic replay of the recorded profile."""
+        profile = self.profiles.get(op)
+        if not profile:
+            # Op never observed under this lease generation (possible
+            # only for a zero-probability op raced onto the stream);
+            # fall back to the mean of everything we have.
+            pooled = [s for p in self.profiles.values() for s in p]
+            return sum(pooled) / len(pooled) if pooled else 1_000.0
+        i = self.cursors[op]
+        self.cursors[op] = (i + 1) % len(profile)
+        return profile[i]
+
+
+class HybridController:
+    """Flips a serving run between DES and the analytic recurrence."""
+
+    def __init__(self, runtime, tracker, faults=None,
+                 tick_ns: float = 20_000.0,
+                 config: Optional[HybridConfig] = None):
+        if tick_ns <= 0:
+            raise ValueError(f"tick must be positive: {tick_ns}")
+        self.runtime = runtime
+        self.tracker = tracker
+        self.sim = runtime.sim
+        self.tick_ns = tick_ns
+        self.config = config or HybridConfig()
+        self.mode = GUARD
+        self.guard_until = self.config.guard_ns
+        self._stable = 0
+        self._lost_seen = 0
+        self._last_stats: Dict[str, Tuple[float, float]] = {}
+        self._tenants: Dict[str, _AnalyticTenant] = {}
+        #: (tenant, op, lease generation) -> recent service durations.
+        self._profiles: Dict[tuple, deque] = {}
+        self._blackouts = self._fault_blackouts(faults)
+        # Engagement statistics (surfaced via ServeReport.hybrid_stats).
+        self.flips = 0
+        self.splices = 0
+        self.analytic_completions = 0
+        self.analytic_arrivals = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> "HybridController":
+        """Hook into the runtime and start the control process."""
+        self.runtime.hybrid = self
+        self.sim.process(self._run())
+        return self
+
+    def _run(self):
+        # URGENT ticks fire before the scheduler's NORMAL tick at equal
+        # timestamps, so the tracker is advanced to "now" before any
+        # decision reads it.
+        while not self.runtime.done:
+            yield self.sim.timeout(self.tick_ns, priority=URGENT)
+            self._tick()
+
+    def stats(self) -> dict:
+        return {"flips": self.flips, "splices": self.splices,
+                "analytic_arrivals": self.analytic_arrivals,
+                "analytic_completions": self.analytic_completions}
+
+    # -- runtime hooks ------------------------------------------------------
+
+    def record_service(self, tenant: str, op: Opcode,
+                       service_ns: float) -> None:
+        """DES completion feed: grow the empirical service profile."""
+        t = self.runtime._tenants[tenant]
+        key = (tenant, op, t.lease.generation if t.lease else 0)
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = self._profiles[key] = deque(
+                maxlen=self.config.max_profile)
+        profile.append(service_ns)
+
+    def wants(self, t) -> bool:
+        """Should this tenant's arrival process hand over its stream?"""
+        return t.spec.name in self._tenants
+
+    def handover(self, t, seq: int):
+        """Called *from* the arrival process at an arrival instant.
+
+        Arms the tenant's recurrence starting at arrival ``seq`` (whose
+        nominal time is now) and parks the process until splice-back.
+        Returns the next event-mode sequence number, with the clock at
+        that arrival's instant.
+        """
+        at = self._tenants[t.spec.name]
+        at.armed = True
+        at.next_seq = seq
+        at.next_at = self.sim.now
+        at.resume = self.sim.event()
+        self._advance_tenant(at, self.sim.now)
+        new_seq, resume_at = yield at.resume
+        if resume_at > self.sim.now:
+            yield self.sim.timeout(resume_at - self.sim.now)
+        return new_seq
+
+    def on_decision(self, decision) -> None:
+        """Scheduler listener: any decision is a transient."""
+        self._reguard(self.sim.now)
+
+    # -- one control tick ---------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        if self.mode is ANALYTIC:
+            self._advance_all(now)
+            self._release_finished(now)
+            if self._tenants and self._blackout_within(
+                    now, now + self.tick_ns + self.config.lookahead_ns):
+                self._reguard(now)
+            elif not self._tenants:
+                self.mode = GUARD
+            return
+        if self._steady(now):
+            self._stable += 1
+            if self._stable >= self.config.stable_ticks:
+                self._flip_analytic(now)
+        else:
+            self._stable = 0
+
+    # -- steadiness ---------------------------------------------------------
+
+    def _steady(self, now: float) -> bool:
+        cfg = self.config
+        steady = (now >= self.guard_until
+                  and not self._blackout_within(
+                      now, now + self.tick_ns + cfg.lookahead_ns))
+        lost = sum(self.tracker.lost.values())
+        if lost != self._lost_seen:
+            self._lost_seen = lost
+            steady = False
+        previous = self._last_stats
+        current: Dict[str, Tuple[float, float]] = {}
+        any_active = False
+        for spec in self.runtime.specs:
+            t = self.runtime._tenants[spec.name]
+            if t.arrivals_done and t.finished >= t.admitted:
+                continue                    # fully drained
+            any_active = True
+            if t.lease is None:
+                steady = False
+                continue
+            stats = self.tracker.window(spec.name, now)
+            current[spec.name] = (stats.p50_ns, stats.p99_ns)
+            if stats.count < cfg.min_samples:
+                steady = False
+                continue
+            if stats.rejected and t.bucket is None:
+                # Rejections without a rate cap mean an overloaded
+                # equilibrium whose admission counts hinge on exact
+                # congestion timing — never fast-forward those.
+                steady = False
+                continue
+            prev = previous.get(spec.name)
+            if prev is None:
+                steady = False
+            elif (abs(stats.p50_ns - prev[0]) > cfg.drift_tol * max(prev[0], 1.0)
+                  or abs(stats.p99_ns - prev[1])
+                  > cfg.drift_tol * max(prev[1], 1.0)):
+                steady = False              # latency still trending
+            if t.lease.degraded:
+                continue                    # deterministic host relay
+            generation = t.lease.generation
+            for op in self._mix_ops(spec):
+                profile = self._profiles.get((spec.name, op, generation))
+                if profile is None or len(profile) < cfg.min_samples:
+                    steady = False
+        self._last_stats = current
+        return steady and any_active
+
+    @staticmethod
+    def _mix_ops(spec) -> List[Opcode]:
+        ops = []
+        if spec.mix.read > 0:
+            ops.append(Opcode.READ)
+        if spec.mix.write > 0:
+            ops.append(Opcode.WRITE)
+        if spec.mix.send > 0:
+            ops.append(Opcode.SEND)
+        return ops
+
+    def _fault_blackouts(self, faults) -> List[Tuple[float, Optional[float]]]:
+        """(start, end) windows where analytic mode is forbidden."""
+        windows: List[Tuple[float, Optional[float]]] = []
+        if faults is None:
+            return windows
+        for fault in faults.faults:
+            at = getattr(fault, "at", None)
+            if at is not None:              # SocCrash: two point transients
+                windows.append((at, at))
+                if fault.recover_at is not None:
+                    windows.append((fault.recover_at, fault.recover_at))
+            else:
+                windows.append((fault.start, fault.end))
+        return windows
+
+    def _blackout_within(self, start: float, end: float) -> bool:
+        cfg = self.config
+        for w_start, w_end in self._blackouts:
+            lo = w_start - cfg.lookahead_ns
+            hi = (float("inf") if w_end is None
+                  else w_end + cfg.guard_ns)
+            if start < hi and end > lo:
+                return True
+        return False
+
+    # -- GUARD -> ANALYTIC --------------------------------------------------
+
+    def _flip_analytic(self, now: float) -> None:
+        runtime = self.runtime
+        self._tenants = {}
+        for spec in runtime.specs:
+            t = runtime._tenants[spec.name]
+            if t.arrivals_done and t.finished >= t.admitted:
+                continue
+            drained = t.queue.drain()
+            sentinels = sum(1 for item in drained if item is None)
+            backlog = deque(item for item in drained if item is not None)
+            n_workers = spec.workers if not t.arrivals_done else sentinels
+            degraded_service = (self._degraded_service(spec)
+                                if t.lease.degraded else 0.0)
+            generation = t.lease.generation
+            profiles = {
+                op: tuple(self._profiles.get((spec.name, op, generation), ()))
+                for op in self._mix_ops(spec)}
+            self._tenants[spec.name] = _AnalyticTenant(
+                t, backlog, sentinels, now, max(1, n_workers),
+                profiles, degraded_service)
+        if not self._tenants:
+            return
+        self.mode = ANALYTIC
+        self.flips += 1
+
+    def _degraded_service(self, spec) -> float:
+        from repro.sched.runtime import _RELAY_GIBPS
+        host = self.runtime.cluster.node("host")
+        return (host.cpu.two_sided_latency_ns
+                + max(1, spec.payload) / gib_per_s(_RELAY_GIBPS))
+
+    # -- the recurrence -----------------------------------------------------
+
+    def _advance_all(self, now: float) -> None:
+        for at in self._tenants.values():
+            self._advance_tenant(at, now)
+
+    def _advance_tenant(self, at: _AnalyticTenant, horizon: float) -> None:
+        """Synthesize arrivals and completions up to ``horizon``."""
+        t = at.state
+        spec = t.spec
+        tracker = self.tracker
+        cluster = self.runtime.cluster
+        interval = spec.interval_ns
+        while at.armed and at.next_seq < spec.requests \
+                and at.next_at <= horizon:
+            arrived = at.next_at
+            self._settle(at, arrived)
+            op, _payload, _addr = next(t.stream)
+            if len(at.queue) >= spec.queue_limit:
+                tracker.observe_reject(spec.name, arrived)
+                cluster.bump("sched.rejected")
+            else:
+                t.admitted += 1
+                at.queue.append((at.next_seq, op, arrived))
+            self.analytic_arrivals += 1
+            at.next_seq += 1
+            at.next_at = arrived + interval
+        self._settle(at, horizon)
+        self._flush(at, horizon)
+
+    def _settle(self, at: _AnalyticTenant, upto: float) -> None:
+        """Assign queued items to workers freeing up by ``upto``."""
+        t = at.state
+        spec = t.spec
+        queue = at.queue
+        free = at.worker_free
+        pending = at.pending
+        bucket = t.bucket
+        degraded = t.lease.degraded
+        while queue and free and free[0] <= upto:
+            freed = heapq.heappop(free)
+            seq, op, arrived = queue.popleft()
+            start = freed if freed > arrived else arrived
+            if degraded:
+                end = start + at.degraded_service
+            else:
+                if bucket is not None:
+                    delay = bucket.delay_for(spec.payload, start)
+                    if delay > 0:
+                        start += delay
+                end = start + at.draw(op)
+            heapq.heappush(free, end)
+            heapq.heappush(pending, (end, seq, op, arrived, degraded))
+
+    def _flush(self, at: _AnalyticTenant, upto: float) -> None:
+        """Materialize synthesized completions due by ``upto``."""
+        pending = at.pending
+        while pending and pending[0][0] <= upto:
+            end, seq, op, arrived, degraded = heapq.heappop(pending)
+            self._complete(at.state, end, seq, op, arrived, degraded)
+
+    def _complete(self, t, end: float, seq: int, op: Opcode,
+                  arrived: float, degraded: bool) -> None:
+        record = CompletionRecord(
+            tenant=t.spec.name, seq=seq, op=op.value, path=t.lease.path,
+            start_ns=arrived, end_ns=end, ok=True, attempts=1,
+            degraded=degraded)
+        t.finished += 1
+        if degraded:
+            t.degraded_served += 1
+        self.runtime.completions.append(record)
+        self.tracker.observe(record, t.spec.payload)
+        self.analytic_completions += 1
+
+    def _release_finished(self, now: float) -> None:
+        """Hand fully-synthesized tenants back so their processes exit."""
+        for name, at in list(self._tenants.items()):
+            t = at.state
+            if at.queue or at.pending:
+                continue
+            if at.armed:
+                if at.next_seq >= t.spec.requests:
+                    at.resume.succeed((at.next_seq, now))
+                    del self._tenants[name]
+            elif t.arrivals_done:
+                for _ in range(at.sentinels):
+                    t.queue.put(None)
+                del self._tenants[name]
+
+    # -- ANALYTIC -> GUARD --------------------------------------------------
+
+    def _reguard(self, now: float) -> None:
+        """Open a guard window; splice live state back to event level."""
+        self.guard_until = max(self.guard_until,
+                               now + self.config.guard_ns)
+        self._stable = 0
+        if self.mode is not ANALYTIC:
+            return
+        self._splice_back(now)
+
+    def _splice_back(self, now: float) -> None:
+        for name, at in self._tenants.items():
+            t = at.state
+            # In-flight synthesized requests: park one worker per item
+            # until its analytic completion instant, and complete the
+            # record from a stub process at that instant.
+            for entry in sorted(at.pending):
+                end, seq, op, arrived, degraded = entry
+                t.queue.put(("hold", end))
+                self.sim.process(
+                    self._stub(t, end, seq, op, arrived, degraded))
+            at.pending = []
+            for item in at.queue:
+                t.queue.put(item)
+            for _ in range(at.sentinels):
+                t.queue.put(None)
+            if at.armed:
+                at.resume.succeed((at.next_seq, at.next_at))
+        self._tenants = {}
+        self.mode = GUARD
+        self.splices += 1
+
+    def _stub(self, t, end: float, seq: int, op: Opcode,
+              arrived: float, degraded: bool):
+        delay = end - self.sim.now
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        self._complete(t, self.sim.now, seq, op, arrived, degraded)

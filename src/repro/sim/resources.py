@@ -175,6 +175,23 @@ class Store:
             self._getters.append(got)
         return got
 
+    def drain(self) -> list:
+        """Remove and return every queued item, oldest first.
+
+        Waiting getters stay parked; blocked putters (bounded stores)
+        are admitted into the freed capacity exactly as if a getter had
+        consumed their way in.  The hybrid engine uses this to move a
+        queue's backlog into the analytic recurrence without waking the
+        workers that are blocked on :meth:`get`.
+        """
+        items = list(self._items)
+        self._items.clear()
+        while self._putters and len(self._items) < self.capacity:
+            done, item = self._putters.popleft()
+            self._items.append(item)
+            done.succeed()
+        return items
+
     def _requeue_front(self, item: Any) -> None:
         """Return a handed-out item (withdrawn getter) to the queue head."""
         if self._getters:

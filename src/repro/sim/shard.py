@@ -1,0 +1,252 @@
+"""Sharded serving simulation: independent clusters on worker processes.
+
+A serving run models one server and its clients; a datacenter-scale
+experiment is many such machines whose tenants never share a fabric.
+Those shards are *independent* — their event timelines only interact
+through the (modeled-per-shard) network — so they can execute on
+separate worker processes and merge afterwards.
+
+The execution protocol is conservative time-windowed lockstep: the
+parent advances every shard to the same simulated-time barrier
+(``sync_window_ns``) before any shard may move past it.  With fully
+independent shards the barrier is trivially safe at any window size;
+it is the protocol under which future cross-shard channels (ROADMAP
+item 1) can deliver messages with a one-window delivery guarantee.
+``jobs=1`` runs the same lockstep in-process — the bit-identity
+reference for the multiprocess path, asserted by
+``tests/sim/test_shard.py``.
+
+Merging uses :meth:`repro.sched.slo.SloTracker.merge` for the SLO
+windows, concatenates decision logs in time order, and sums per-path
+bandwidth and telemetry counters.  ``elapsed_ns`` is the maximum over
+shards and is rounded up to the sync window (documented divergence
+from an unsharded run; per-tenant latencies and counts are exact).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.sched.serve import ServeReport, ServeSession
+from repro.sched.slo import SloTracker
+from repro.sched.tenant import TenantSpec
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a tenant set (and optional faults) on its own cluster."""
+
+    name: str
+    tenants: Tuple[TenantSpec, ...]
+    faults: Optional[FaultPlan] = None
+    fault_seed: int = 0
+
+    def __post_init__(self):
+        if not self.tenants:
+            raise ValueError(f"shard {self.name!r} has no tenants")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An ordered set of shards with globally unique tenant names."""
+
+    shards: Tuple[ShardSpec, ...]
+
+    def __post_init__(self):
+        if not self.shards:
+            raise ValueError("plan needs at least one shard")
+        seen: Dict[str, str] = {}
+        for shard in self.shards:
+            for spec in shard.tenants:
+                if spec.name in seen:
+                    raise ValueError(
+                        f"tenant {spec.name!r} appears in shards "
+                        f"{seen[spec.name]!r} and {shard.name!r}")
+                seen[spec.name] = shard.name
+
+    @classmethod
+    def partition(cls, tenants: Sequence[TenantSpec],
+                  n_shards: int) -> "ShardPlan":
+        """Round-robin the tenants over ``n_shards`` shards."""
+        if n_shards < 1:
+            raise ValueError(f"need >= 1 shard, got {n_shards}")
+        tenants = tuple(tenants)
+        n_shards = min(n_shards, len(tenants))
+        groups: List[List[TenantSpec]] = [[] for _ in range(n_shards)]
+        for i, spec in enumerate(tenants):
+            groups[i % n_shards].append(spec)
+        return cls(shards=tuple(
+            ShardSpec(name=f"shard{i}", tenants=tuple(group))
+            for i, group in enumerate(groups)))
+
+
+def _make_session(shard: ShardSpec, serve_kwargs: dict) -> ServeSession:
+    return ServeSession(shard.tenants, faults=shard.faults,
+                        fault_seed=shard.fault_seed, **serve_kwargs)
+
+
+def _shard_worker(conn, shard: ShardSpec, serve_kwargs: dict) -> None:
+    """Child-process loop: advance on command, report when asked."""
+    try:
+        session = _make_session(shard, serve_kwargs)
+        while True:
+            message = conn.recv()
+            if message[0] == "advance":
+                conn.send(("ok", session.advance(message[1])))
+            elif message[0] == "report":
+                conn.send(("report", session.finalize(), session.tracker))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ValueError(f"unknown command {message[0]!r}")
+    except Exception as exc:  # pragma: no cover - surfaced in parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _run_lockstep_inprocess(shards: Sequence[ShardSpec],
+                            serve_kwargs: dict, sync_window_ns: float):
+    sessions = [_make_session(shard, serve_kwargs) for shard in shards]
+    barrier = 0.0
+    while not all(session.done for session in sessions):
+        barrier += sync_window_ns
+        for session in sessions:
+            session.advance(barrier)
+    return ([session.finalize() for session in sessions],
+            [session.tracker for session in sessions])
+
+
+def _run_lockstep_multiprocess(shards: Sequence[ShardSpec],
+                               serve_kwargs: dict, sync_window_ns: float,
+                               jobs: int):
+    ctx = multiprocessing.get_context()
+    workers = []
+    try:
+        for shard in shards:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_shard_worker,
+                               args=(child_conn, shard, serve_kwargs),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            workers.append((shard, proc, parent_conn))
+
+        def ask(conn, *message):
+            conn.send(message)
+            reply = conn.recv()
+            if reply[0] == "error":
+                raise RuntimeError(f"shard worker failed: {reply[1]}")
+            return reply
+
+        barrier = 0.0
+        done = [False] * len(workers)
+        while not all(done):
+            barrier += sync_window_ns
+            # One barrier round: every live shard gets the new horizon
+            # before any reply is awaited, so shards advance in parallel.
+            for i, (_shard, _proc, conn) in enumerate(workers):
+                if not done[i]:
+                    conn.send(("advance", barrier))
+            for i, (_shard, _proc, conn) in enumerate(workers):
+                if not done[i]:
+                    reply = conn.recv()
+                    if reply[0] == "error":
+                        raise RuntimeError(
+                            f"shard worker failed: {reply[1]}")
+                    done[i] = reply[1]
+        reports, trackers = [], []
+        for _shard, _proc, conn in workers:
+            _tag, report, tracker = ask(conn, "report")
+            reports.append(report)
+            trackers.append(tracker)
+        return reports, trackers
+    finally:
+        for _shard, proc, conn in workers:
+            conn.close()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+
+
+def merge_reports(reports: Sequence[ServeReport],
+                  trackers: Sequence[SloTracker]) -> ServeReport:
+    """Fold per-shard reports (and trackers) into one cluster view."""
+    if not reports:
+        raise ValueError("nothing to merge")
+    merged_tracker = trackers[0]
+    for tracker in trackers[1:]:
+        merged_tracker.merge(tracker)
+    tenants: Dict[str, object] = {}
+    for report in reports:
+        overlap = tenants.keys() & report.tenants.keys()
+        if overlap:
+            raise ValueError(f"tenant(s) {sorted(overlap)} in two shards")
+        tenants.update(report.tenants)
+    # The merged tracker is the ground truth for totals; per-shard
+    # reports must agree with it exactly.
+    for name, tenant in tenants.items():
+        if merged_tracker.completed[name] != tenant.completed:
+            raise AssertionError(
+                f"merge drift for {name!r}: tracker says "
+                f"{merged_tracker.completed[name]}, report {tenant.completed}")
+    decisions = sorted((d for report in reports for d in report.decisions),
+                       key=lambda d: d.time_ns)
+    path_gbps: Dict[str, float] = {}
+    counters: Dict[str, float] = {}
+    for report in reports:
+        for path, gbps in report.path_gbps.items():
+            path_gbps[path] = path_gbps.get(path, 0.0) + gbps
+        for key, value in report.counters.items():
+            counters[key] = counters.get(key, 0.0) + value
+    hybrid_stats = None
+    if any(report.hybrid_stats for report in reports):
+        hybrid_stats = {}
+        for report in reports:
+            for key, value in (report.hybrid_stats or {}).items():
+                hybrid_stats[key] = hybrid_stats.get(key, 0) + value
+    return ServeReport(
+        adaptive=all(report.adaptive for report in reports),
+        elapsed_ns=max(report.elapsed_ns for report in reports),
+        tenants=tenants,
+        decisions=decisions,
+        path_gbps=path_gbps,
+        counters=counters,
+        engine=reports[0].engine,
+        hybrid_stats=hybrid_stats,
+    )
+
+
+def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
+                sync_window_ns: float = 200_000.0,
+                **serve_kwargs) -> ServeReport:
+    """Execute a shard plan and return the merged report.
+
+    ``jobs`` — worker processes (``None``/0 → one per shard; 1 → the
+    in-process reference execution).  ``serve_kwargs`` are forwarded to
+    every shard's :class:`~repro.sched.serve.ServeSession` (``engine=
+    "hybrid"`` composes with sharding).  ``trace=True`` is rejected:
+    tracers do not serialize across process boundaries.
+    """
+    if sync_window_ns <= 0:
+        raise ValueError(f"sync window must be positive: {sync_window_ns}")
+    if serve_kwargs.get("trace"):
+        raise ValueError("trace=True is not supported for sharded runs")
+    for key in ("faults", "fault_seed"):
+        if key in serve_kwargs:
+            raise ValueError(f"pass {key!r} per shard via ShardSpec")
+    shards = plan.shards
+    if jobs is None or jobs == 0:
+        jobs = len(shards)
+    if jobs <= 1 or len(shards) == 1:
+        reports, trackers = _run_lockstep_inprocess(
+            shards, serve_kwargs, sync_window_ns)
+    else:
+        reports, trackers = _run_lockstep_multiprocess(
+            shards, serve_kwargs, sync_window_ns, jobs)
+    return merge_reports(reports, trackers)

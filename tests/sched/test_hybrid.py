@@ -1,0 +1,111 @@
+"""The hybrid engine's faithfulness contract against pure DES.
+
+Exact clauses (counts, decision structure) are asserted bit-for-bit;
+toleranced clauses (p50/p99/goodput, decision p99 attribution) go
+through :mod:`repro.sim.crosscheck`, which grades them against the
+bounds declared by :class:`~repro.sim.hybrid.HybridConfig`.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.plan import FaultPlan, SocCrash
+from repro.sched.serve import mixed_tenant_workload, run_serve
+from repro.sim.crosscheck import crosscheck, crosscheck_suite
+from repro.sim.hybrid import HybridConfig
+
+
+def _counts(report):
+    return {name: (t.completed, t.rejected, t.lost)
+            for name, t in report.tenants.items()}
+
+
+def _decision_structure(report):
+    return [d.as_tuple()[:9] + d.as_tuple()[10:] for d in report.decisions]
+
+
+def test_hybrid_config_validates():
+    with pytest.raises(ValueError):
+        HybridConfig(guard_ns=-1.0)
+    with pytest.raises(ValueError):
+        HybridConfig(min_samples=0)
+    with pytest.raises(ValueError):
+        HybridConfig(latency_tol=-0.5)
+
+
+def test_static_run_never_flips_and_is_identical():
+    """Static placements drive tenants into overload equilibria whose
+    admission counts are timing-sensitive; the steadiness predicate
+    must refuse to fast-forward them, leaving pure-DES output."""
+    des = run_serve(mixed_tenant_workload(duration_ns=400_000.0, seed=0),
+                    adaptive=False)
+    hyb = run_serve(mixed_tenant_workload(duration_ns=400_000.0, seed=0),
+                    adaptive=False, engine="hybrid")
+    assert hyb.hybrid_stats["flips"] == 0
+    assert _counts(hyb) == _counts(des)
+    assert {n: (t.p50_ns, t.p99_ns, t.goodput_gbps)
+            for n, t in hyb.tenants.items()} \
+        == {n: (t.p50_ns, t.p99_ns, t.goodput_gbps)
+            for n, t in des.tenants.items()}
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=40))
+def test_hybrid_counts_exact_across_seeds(seed):
+    """Property: for any stream seed, completions / rejections /
+    losses are *exactly* the pure-DES numbers — fast-forwarding may
+    only move telemetry within tolerance, never change what happened."""
+    des = run_serve(mixed_tenant_workload(duration_ns=600_000.0, seed=seed))
+    hyb = run_serve(mixed_tenant_workload(duration_ns=600_000.0, seed=seed),
+                    engine="hybrid")
+    assert _counts(hyb) == _counts(des)
+    assert _decision_structure(hyb) == _decision_structure(des)
+
+
+@settings(max_examples=4, deadline=None)
+@given(st.integers(min_value=0, max_value=40))
+def test_hybrid_latencies_within_declared_tolerance(seed):
+    config = HybridConfig()
+    result = crosscheck(
+        "prop", lambda: mixed_tenant_workload(duration_ns=600_000.0,
+                                              seed=seed),
+        config=config)
+    assert result.ok, result.failures()
+
+
+def test_soc_crash_counts_and_decisions_exact():
+    """Faults force guard windows: the blackout logic must splice back
+    to DES early enough that failovers and degraded service happen at
+    exactly the pure-DES instants."""
+    plan = FaultPlan(faults=(SocCrash(at=150_000.0),))
+    des = run_serve(mixed_tenant_workload(duration_ns=500_000.0, seed=0),
+                    faults=plan)
+    hyb = run_serve(mixed_tenant_workload(duration_ns=500_000.0, seed=0),
+                    faults=plan, engine="hybrid")
+    assert _counts(hyb) == _counts(des)
+    assert _decision_structure(hyb) == _decision_structure(des)
+    assert any(d.kind == "failover" for d in hyb.decisions)
+
+
+def test_long_steady_run_actually_fast_forwards():
+    """The speedup clause: a long adaptive run must spend most of its
+    arrivals in analytic mode (the 10x benchmark rides on this)."""
+    report = run_serve(mixed_tenant_workload(duration_ns=1_500_000.0,
+                                             seed=0), engine="hybrid")
+    stats = report.hybrid_stats
+    assert stats["flips"] >= 1
+    total = sum(t.completed + t.rejected for t in report.tenants.values())
+    assert stats["analytic_arrivals"] > total / 2
+
+
+def test_crosscheck_suite_rejects_unknown_scenarios():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        crosscheck_suite(scenarios=["nope"])
+
+
+def test_crosscheck_grades_the_standard_families():
+    results = crosscheck_suite(duration_ns=400_000.0,
+                               scenarios=["adaptive", "static"])
+    assert [r.scenario for r in results] == ["adaptive", "static"]
+    for result in results:
+        assert result.ok, (result.scenario, result.failures())

@@ -1,0 +1,133 @@
+"""BatchSimulator must observably equal the reference Simulator."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import LOW, NORMAL, URGENT, Simulator
+from repro.sim.batchq import _VECTOR_MIN, BatchSimulator
+
+_PRIORITIES = (URGENT, NORMAL, LOW)
+
+
+def _run_program(sim, seed, n_events, with_nested=True):
+    """Schedule a seeded mess of timeouts; log the firing order."""
+    rng = random.Random(seed)
+    order = []
+
+    def fire(event, tag):
+        order.append((sim.now, tag))
+        # Occasionally a firing event schedules more work *at the
+        # current timestamp*, including URGENT overtakers — the case
+        # where the batched queue must re-merge its live bucket.
+        if with_nested and rng.random() < 0.25:
+            delay = rng.choice((0.0, 0.0, rng.uniform(0, 50)))
+            priority = rng.choice(_PRIORITIES)
+            sim.timeout(delay, priority=priority).add_callback(
+                lambda e, t=f"{tag}+n": fire(e, t))
+
+    for i in range(n_events):
+        # Few distinct timestamps -> large same-time batches.
+        delay = float(rng.choice((0, 0, 10, 10, 10, 20, rng.uniform(0, 30))))
+        priority = rng.choice(_PRIORITIES)
+        sim.timeout(delay, priority=priority).add_callback(
+            lambda e, t=str(i): fire(e, t))
+    return order
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=60))
+def test_batch_order_identical_to_reference(seed, n_events):
+    ref_sim = Simulator()
+    ref = _run_program(ref_sim, seed, n_events)
+    ref_sim.run()
+    batch_sim = BatchSimulator()
+    got = _run_program(batch_sim, seed, n_events)
+    batch_sim.run()
+    assert got == ref
+    assert batch_sim.now == ref_sim.now
+    assert batch_sim.events_executed == ref_sim.events_executed
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.lists(st.floats(min_value=1.0, max_value=40.0),
+                min_size=1, max_size=6))
+def test_chunked_until_matches_one_shot(seed, horizons):
+    one_shot = BatchSimulator()
+    ref = _run_program(one_shot, seed, 40)
+    one_shot.run()
+    chunked = BatchSimulator()
+    got = _run_program(chunked, seed, 40)
+    at = 0.0
+    for step in horizons:
+        at += step
+        chunked.run(until=at)
+    chunked.run()
+    assert got == ref
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=7))
+def test_max_events_resumes_exactly(seed, stride):
+    one_shot = BatchSimulator()
+    ref = _run_program(one_shot, seed, 30)
+    one_shot.run()
+    stepped = BatchSimulator()
+    got = _run_program(stepped, seed, 30)
+    while stepped.peek() != float("inf"):
+        stepped.run(max_events=stride)
+    assert got == ref
+
+
+def test_large_bucket_exercises_vector_sort_path():
+    """A single timestamp with > _VECTOR_MIN events (argsort path when
+    numpy is importable, plain sort otherwise) keeps FIFO-by-priority."""
+    n = _VECTOR_MIN + 50
+    ref_sim, batch_sim = Simulator(), BatchSimulator()
+    ref, got = [], []
+    for sim, log in ((ref_sim, ref), (batch_sim, got)):
+        for i in range(n):
+            priority = _PRIORITIES[i % 3]
+            sim.timeout(10.0, priority=priority).add_callback(
+                lambda e, i=i, log=log: log.append(i))
+        sim.run()
+    assert got == ref
+    # Priorities win over insertion order inside the batch.
+    assert got[0] % 3 == 0 and _PRIORITIES[got[-1] % 3] == LOW
+
+
+def test_step_and_peek_skip_stale_heap_entries():
+    sim = BatchSimulator()
+    fired = []
+    sim.timeout(5.0).add_callback(lambda e: fired.append("a"))
+    sim.timeout(5.0).add_callback(lambda e: fired.append("b"))
+    sim.timeout(9.0).add_callback(lambda e: fired.append("c"))
+    assert sim.peek() == 5.0
+    sim.step()
+    sim.step()
+    assert fired == ["a", "b"]
+    assert sim.peek() == 9.0
+    sim.step()
+    assert fired == ["a", "b", "c"]
+    assert sim.peek() == float("inf")
+
+
+def test_processes_run_identically_on_batch_engine():
+    """The process/resource layer doesn't know which queue runs it."""
+    def program(sim, log):
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+        for i, delay in enumerate((7.0, 3.0, 3.0, 11.0)):
+            sim.process(worker(f"w{i}", delay))
+        sim.run()
+
+    ref, got = [], []
+    program(Simulator(), ref)
+    program(BatchSimulator(), got)
+    assert got == ref

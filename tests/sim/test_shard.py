@@ -1,0 +1,99 @@
+"""Sharded serving execution: bit-identity and merge correctness."""
+
+import dataclasses
+
+import pytest
+
+from repro.sched.serve import mixed_tenant_workload, run_serve
+from repro.sim.shard import ShardPlan, ShardSpec, run_sharded
+
+_DURATION = 300_000.0
+
+
+def _tenants(seed=0, suffix=""):
+    specs = mixed_tenant_workload(duration_ns=_DURATION, seed=seed)
+    if not suffix:
+        return specs
+    return tuple(dataclasses.replace(t, name=t.name + suffix,
+                                     seed=t.seed + 100)
+                 for t in specs)
+
+
+def _two_shard_plan():
+    return ShardPlan(shards=(ShardSpec("m0", _tenants()),
+                             ShardSpec("m1", _tenants(suffix="2"))))
+
+
+def _key(report):
+    return {name: (t.completed, t.rejected, t.lost, t.p50_ns, t.p99_ns,
+                   t.goodput_gbps, t.slo_goodput_gbps)
+            for name, t in report.tenants.items()}
+
+
+def _decisions(report):
+    return [d.as_tuple() for d in report.decisions]
+
+
+def test_partition_round_robins_and_names():
+    plan = ShardPlan.partition(_tenants(), 2)
+    assert [s.name for s in plan.shards] == ["shard0", "shard1"]
+    sizes = [len(s.tenants) for s in plan.shards]
+    assert sum(sizes) == 4 and max(sizes) - min(sizes) <= 1
+
+
+def test_plan_rejects_duplicate_tenants_and_empty_shards():
+    with pytest.raises(ValueError, match="appears in shards"):
+        ShardPlan(shards=(ShardSpec("m0", _tenants()),
+                          ShardSpec("m1", _tenants())))
+    with pytest.raises(ValueError, match="no tenants"):
+        ShardSpec("m0", ())
+    with pytest.raises(ValueError, match="at least one shard"):
+        ShardPlan(shards=())
+
+
+def test_run_sharded_rejects_unshardable_kwargs():
+    plan = ShardPlan(shards=(ShardSpec("m0", _tenants()),))
+    with pytest.raises(ValueError, match="trace"):
+        run_sharded(plan, trace=True)
+    with pytest.raises(ValueError, match="ShardSpec"):
+        run_sharded(plan, faults=None)
+    with pytest.raises(ValueError, match="sync window"):
+        run_sharded(plan, sync_window_ns=0.0)
+
+
+def test_multiprocess_matches_inprocess_bit_for_bit():
+    """jobs=1 is the reference; worker processes must change nothing."""
+    seq = run_sharded(_two_shard_plan(), jobs=1)
+    par = run_sharded(_two_shard_plan(), jobs=2)
+    assert _key(par) == _key(seq)
+    assert _decisions(par) == _decisions(seq)
+    assert par.path_gbps == seq.path_gbps
+    assert par.elapsed_ns == seq.elapsed_ns
+
+
+def test_single_shard_matches_unsharded_run():
+    """One shard == run_serve, except elapsed (rounded to the sync
+    window — the documented divergence)."""
+    solo = run_sharded(ShardPlan(shards=(ShardSpec("m0", _tenants()),)))
+    plain = run_serve(_tenants())
+    assert _key(solo) == _key(plain)
+    assert _decisions(solo) == _decisions(plain)
+    assert solo.elapsed_ns >= plain.elapsed_ns
+
+
+def test_merged_decisions_are_time_sorted_and_tenants_disjoint():
+    report = run_sharded(_two_shard_plan(), jobs=1)
+    times = [d.time_ns for d in report.decisions]
+    assert times == sorted(times)
+    assert len(report.tenants) == 8
+
+
+def test_hybrid_engine_composes_with_sharding():
+    hybrid = run_sharded(_two_shard_plan(), jobs=1, engine="hybrid")
+    plain = run_sharded(_two_shard_plan(), jobs=1)
+    assert hybrid.engine == "hybrid"
+    assert hybrid.hybrid_stats is not None
+    assert {n: (t.completed, t.rejected, t.lost)
+            for n, t in hybrid.tenants.items()} \
+        == {n: (t.completed, t.rejected, t.lost)
+            for n, t in plain.tenants.items()}
