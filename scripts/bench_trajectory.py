@@ -21,8 +21,11 @@ recorded bar regressed: cold smoke wall-time more than
 ``BENCH_sweep.json``, DES events/sec below the record by the same
 tolerance, or the hybrid serving speedup below
 ``BENCH_CHECK_HYBRID_MIN`` (default 10x, the hybrid layer's acceptance
-bar) or diverging from pure-DES counts.  The file is not rewritten;
-CI runs the check before regenerating the record.
+bar) or diverging from pure-DES counts, the sharded lockstep engine
+diverging from its in-process reference, or (on machines with >= 2
+cores) the ``jobs=2`` shard speedup below ``BENCH_CHECK_SHARD_MIN``
+(default 1.3x; skipped with a note on single-core machines).  The file
+is not rewritten; CI runs the check before regenerating the record.
 """
 
 from __future__ import annotations
@@ -216,6 +219,80 @@ def serving_bench() -> dict:
     }
 
 
+#: Arrival-window length per machine of the shard-scaling benchmark.
+SHARD_DURATION_NS = 1_200_000.0
+#: Worker-process counts swept by the scaling benchmark; the plan has
+#: ``max(SHARD_JOBS)`` machines, each exporting bulk traffic to the
+#: next over the cross-shard fabric.
+SHARD_JOBS = (1, 2, 4)
+
+
+def shard_scaling_bench(duration_ns: float = SHARD_DURATION_NS,
+                        jobs: tuple = SHARD_JOBS) -> dict:
+    """Wall-clock scaling of lockstep sharding with cross-shard traffic.
+
+    ``jobs=1`` is the in-process reference; every multiprocess point
+    must reproduce its merged counts and decision log bit-exactly
+    (the one-window delivery contract of ``repro.sim.shard``).  Real
+    wall-clock scaling needs >= 2 cores — the recorded ``cores`` field
+    says what this run had, and the ``--check`` gate skips the speedup
+    bar (with a note) on single-core machines.
+    """
+    from dataclasses import replace
+
+    from repro.sched.serve import mixed_tenant_workload
+    from repro.sim.shard import ShardPlan, ShardSpec, run_sharded
+    from repro.sim.xshard import CrossTraffic
+
+    n_shards = max(jobs)
+
+    def plan() -> ShardPlan:
+        names = [f"m{i}" for i in range(n_shards)]
+        shards = []
+        for i in range(n_shards):
+            tenants = tuple(
+                replace(t, name=f"{t.name}-{i}", seed=t.seed + 37 * i)
+                for t in mixed_tenant_workload(duration_ns=duration_ns,
+                                               seed=0))
+            exports = tuple(
+                CrossTraffic(t.name, names[(i + 1) % n_shards], "bulk")
+                for t in tenants if t.bulk)
+            shards.append(ShardSpec(name=names[i], tenants=tenants,
+                                    exports=exports))
+        return ShardPlan(shards=tuple(shards))
+
+    def key(report):
+        return (sorted((t.name, t.completed, t.rejected, t.lost)
+                       for t in report.tenants.values()),
+                [d.as_tuple() for d in report.decisions])
+
+    def run(n_jobs):
+        start = time.perf_counter()
+        report = run_sharded(plan(), jobs=n_jobs)
+        return report, time.perf_counter() - start
+
+    reference, ref_s = run(1)
+    ref_key = key(reference)
+    points = {"1": {"wall_s": round(ref_s, 4), "speedup_vs_jobs1": 1.0,
+                    "bit_identical": True}}
+    for n_jobs in jobs:
+        if n_jobs == 1:
+            continue
+        report, wall = run(n_jobs)
+        points[str(n_jobs)] = {
+            "wall_s": round(wall, 4),
+            "speedup_vs_jobs1": round(ref_s / wall, 2),
+            "bit_identical": key(report) == ref_key,
+        }
+    return {
+        "duration_ns": duration_ns,
+        "shards": n_shards,
+        "cores": os.cpu_count(),
+        "cross_shard_msgs": int(reference.counters.get("xshard.sent", 0)),
+        "jobs": points,
+    }
+
+
 def time_suite() -> float:
     """Wall-clock of the full pytest-benchmark suite, seconds."""
     env = dict(os.environ)
@@ -298,7 +375,39 @@ def check_regression(recorded_path: str, cold_s: float, des_eps: float,
         print("bench check: hybrid serving counts DIVERGED from pure DES "
               "-> FAITHFULNESS BROKEN")
 
+    failures += check_shard_scaling(shard_scaling_bench())
+
     return 1 if failures else 0
+
+
+def check_shard_scaling(shard: dict) -> int:
+    """Shard-scaling gate: bit-identity always; speedup when cores allow.
+
+    Every multiprocess point must merge bit-identically with the
+    in-process reference.  The ``jobs=2`` wall-clock speedup must reach
+    ``BENCH_CHECK_SHARD_MIN`` (default 1.3x) when the machine has at
+    least 2 cores; on single-core machines the speedup bar is skipped
+    with a note (lockstep over pipes cannot beat in-process there).
+    """
+    shard_min = float(os.environ.get("BENCH_CHECK_SHARD_MIN", "1.3"))
+    failures = 0
+    for n_jobs, point in sorted(shard["jobs"].items()):
+        if not point["bit_identical"]:
+            failures += 1
+            print(f"bench check: sharded jobs={n_jobs} DIVERGED from the "
+                  "in-process reference -> LOCKSTEP BROKEN")
+    cores = shard.get("cores") or 1
+    speedup = shard["jobs"].get("2", {}).get("speedup_vs_jobs1", 0.0)
+    if cores >= 2:
+        verdict = "OK" if speedup >= shard_min else "REGRESSED"
+        failures += speedup < shard_min
+        print(f"bench check: sharded jobs=2 {speedup:.2f}x vs jobs=1 "
+              f"(floor {shard_min:.1f}x, {cores} cores) -> {verdict}")
+    else:
+        print(f"bench check: sharded jobs=2 {speedup:.2f}x vs jobs=1 "
+              f"-> SKIPPED (single-core machine; bit-identity still "
+              "checked)")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -356,6 +465,9 @@ def main(argv=None) -> int:
         # Goodput under injected packet loss (DES + RC retransmission);
         # the 0.0 row doubles as the pay-as-you-go reference.
         "faulted_sweep": faulted_sweep(rates=(0.0, 0.001, 0.01)),
+        # Multiprocess lockstep scaling with cross-shard bulk traffic
+        # (jobs=1 in-process reference; bit-identity always enforced).
+        "shard_scaling": shard_scaling_bench(),
     }
 
     if not args.no_suite:

@@ -210,10 +210,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         "into the run")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed of the injector's RNG streams")
-    p.add_argument("--engine", choices=["event", "hybrid"], default="event",
-                   help="serving engine: 'event' is the pure-DES "
-                        "reference, 'hybrid' fast-forwards steady-state "
-                        "windows analytically (docs/performance.md)")
+    p.add_argument("--engine", choices=["event", "des-heap", "hybrid"],
+                   default="event",
+                   help="serving engine: 'event' is pure DES on the "
+                        "batched queue (default), 'des-heap' the heap-"
+                        "queue opt-out, 'hybrid' fast-forwards steady-"
+                        "state windows analytically (docs/performance.md)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the workload over N lockstep machines "
+                        "(repro.sim.shard) instead of one serving run")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for --shards > 1 "
+                        "(default: one per shard; 1 = in-process)")
+    p.add_argument("--cross-traffic", action="store_true",
+                   help="with --shards > 1: bulk tenants ship their "
+                        "completions to the next machine over the "
+                        "cross-shard fabric (repro.sim.xshard)")
     p.add_argument("--decisions", action="store_true",
                    help="append the scheduler's decision log")
     p.add_argument("--json", action="store_true",
@@ -230,7 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    metavar="NAME", default=None,
                    help="run only this scenario family (repeatable; "
                         "default: all of adaptive, static, soc-crash, "
-                        "crash-recover, packet-loss)")
+                        "crash-recover, packet-loss, fault-transient)")
     p.add_argument("--json", action="store_true",
                    help="emit the graded results as JSON instead of a table")
     return parser
@@ -570,8 +582,35 @@ def _cmd_serve(args) -> str:
             if args.fault_plan is not None else None)
     tenants = mixed_tenant_workload(duration_ns=args.duration,
                                     seed=args.seed)
-    report = run_serve(tenants, adaptive=not args.static, faults=plan,
-                       fault_seed=args.fault_seed, engine=args.engine)
+    if args.shards > 1:
+        from dataclasses import replace
+
+        from repro.sim.shard import ShardPlan, ShardSpec, run_sharded
+        from repro.sim.xshard import CrossTraffic
+
+        base = ShardPlan.partition(tenants, args.shards)
+        names = [s.name for s in base.shards]
+        shards = []
+        for i, shard in enumerate(base.shards):
+            exports = ()
+            if args.cross_traffic and len(names) > 1:
+                # Bulk tenants ship completions to the next machine.
+                nxt = names[(i + 1) % len(names)]
+                exports = tuple(
+                    CrossTraffic(t.name, nxt, "bulk")
+                    for t in shard.tenants if t.bulk)
+            faults = plan if i == 0 else None
+            shards.append(replace(shard, faults=faults,
+                                  fault_seed=args.fault_seed,
+                                  exports=exports))
+        report = run_sharded(ShardPlan(shards=tuple(shards)),
+                             jobs=args.jobs, adaptive=not args.static,
+                             engine=args.engine)
+    else:
+        report = run_serve(tenants, adaptive=not args.static, faults=plan,
+                           fault_seed=args.fault_seed, engine=args.engine)
+    xshard = {key: value for key, value in sorted(report.counters.items())
+              if key.startswith("xshard.")}
     if args.json:
         rows = [vars(t) for t in report.tenants.values()]
         return json.dumps({"adaptive": report.adaptive,
@@ -579,11 +618,21 @@ def _cmd_serve(args) -> str:
                            "engine": report.engine,
                            "hybrid_stats": report.hybrid_stats,
                            "tenants": rows,
-                           "path_gbps": report.path_gbps}, indent=2)
+                           "path_gbps": report.path_gbps,
+                           "counters": xshard}, indent=2)
     parts = [report.table()]
     gbps = ", ".join(f"{path}: {rate:.1f}"
                      for path, rate in sorted(report.path_gbps.items()))
     parts.append(f"steady-state Gbps per path: {gbps}")
+    if xshard:
+        mean_rtt = (xshard.get("xshard.rtt_ns_total", 0)
+                    / max(1, xshard.get("xshard.acked", 0)))
+        parts.append(
+            "cross-shard fabric: "
+            f"{xshard.get('xshard.sent', 0)} sent, "
+            f"{xshard.get('xshard.served', 0)} served remotely, "
+            f"{xshard.get('xshard.relay_requests', 0)} failover relays, "
+            f"mean rtt {fmt_ns(mean_rtt)}")
     if report.hybrid_stats is not None:
         stats = ", ".join(f"{key}: {value}"
                           for key, value in sorted(

@@ -124,6 +124,11 @@ class ServingRuntime:
         # every touch point guards with one ``is not None`` check, so
         # the default engine's event sequence is untouched.
         self.hybrid = None
+        # Cross-shard fabric hook (repro.sim.xshard): the shard's bound
+        # ShardChannel on sharded runs with cross-machine traffic.
+        # Same dormancy contract as ``hybrid`` — None means every event
+        # stays machine-local and the sequence is untouched.
+        self.xshard = None
         self._tenants: Dict[str, _TenantState] = {}
         clients = [n.name for n in cluster.clients()]
         client_i = 0
@@ -291,11 +296,22 @@ class ServingRuntime:
             lease = t.lease
             attempts += 1
             if lease.degraded:
-                # Host-local relay: CPU service + a DRAM-speed copy.
-                host = self.cluster.node("host")
-                service = (host.cpu.two_sided_latency_ns
-                           + payload / gib_per_s(_RELAY_GIBPS))
-                yield self.sim.timeout(service)
+                xshard = self.xshard
+                export = (xshard.exports.get(spec.name)
+                          if xshard is not None else None)
+                if export is not None and export.kind == "failover":
+                    # Host-ward failover to *another machine*: the
+                    # request rides the cross-shard fabric and is
+                    # served by the destination shard's host relay;
+                    # latency includes both link traversals.
+                    yield xshard.relay_request(spec.name,
+                                               export.dst_shard, payload)
+                else:
+                    # Host-local relay: CPU service + DRAM-speed copy.
+                    host = self.cluster.node("host")
+                    service = (host.cpu.two_sided_latency_ns
+                               + payload / gib_per_s(_RELAY_GIBPS))
+                    yield self.sim.timeout(service)
                 t.degraded_served += 1
                 self._finish(t, seq, op, arrived_ns, ok=True,
                              attempts=attempts, degraded=True)
@@ -347,3 +363,11 @@ class ServingRuntime:
         t.finished += 1
         self.completions.append(record)
         self.tracker.observe(record, t.spec.payload)
+        xshard = self.xshard
+        if xshard is not None and ok and not degraded:
+            export = xshard.exports.get(t.spec.name)
+            if export is not None and export.kind == "bulk":
+                # Asynchronous offload shipping: the completed payload
+                # crosses the fabric to the destination shard's host.
+                xshard.ship_bulk(t.spec.name, export.dst_shard,
+                                 t.spec.payload)

@@ -178,10 +178,10 @@ class ServeSession:
                  cooldown_ns: float = 60_000.0,
                  warmup_ns: Optional[float] = None,
                  trace: bool = False, engine: str = "event",
-                 hybrid_config=None):
-        if engine not in ("event", "hybrid"):
+                 hybrid_config=None, channel=None):
+        if engine not in ("event", "des-heap", "hybrid"):
             raise ValueError(f"unknown serve engine {engine!r}; "
-                             "expected 'event' or 'hybrid'")
+                             "expected 'event', 'des-heap' or 'hybrid'")
         tenants = tuple(tenants)
         if not tenants:
             raise ValueError("need at least one tenant")
@@ -192,7 +192,17 @@ class ServeSession:
         testbed = testbed or paper_testbed()
         n_clients = max(1, sum(1 for t in tenants if not t.bulk))
         self.tenants = tenants
-        self.cluster = SimCluster(testbed, n_clients=n_clients, nic="snic")
+        # "event" (and "hybrid" on top of it) runs on the time-bucketed
+        # BatchSimulator — exact order parity with the heap queue, ~27%
+        # faster on serving mixes; "des-heap" opts back into the heap.
+        if engine == "des-heap":
+            from repro.sim.engine import Simulator
+            sim = Simulator()
+        else:
+            from repro.sim.batchq import BatchSimulator
+            sim = BatchSimulator()
+        self.cluster = SimCluster(testbed, sim=sim, n_clients=n_clients,
+                                  nic="snic")
         self.tracer = Tracer().install(self.cluster) if trace else None
         self.telemetry = Telemetry(self.cluster)
         if faults is not None and not faults.empty:
@@ -201,6 +211,10 @@ class ServeSession:
         self.tracker = SloTracker(tenants, window_ns=window_ns)
         self.runtime = ServingRuntime(self.cluster, self.ctx, tenants,
                                       self.tracker)
+        self.channel = channel
+        if channel is not None:
+            channel.bind(self)
+            self.runtime.xshard = channel
         self.policy = PathPolicy(testbed, cooldown_ns=cooldown_ns)
         self._telemetry_start = self.telemetry.snapshot()
 
@@ -280,7 +294,10 @@ def run_serve(tenants: Sequence[TenantSpec], adaptive: bool = True,
     still count toward per-tenant totals.
 
     ``engine`` selects the execution strategy: ``"event"`` (the default
-    pure DES — bit-identical run to run) or ``"hybrid"``, which
+    pure DES on the time-bucketed :class:`~repro.sim.batchq.
+    BatchSimulator` queue — bit-identical run to run), ``"des-heap"``
+    (the same DES on the binary-heap queue — the opt-out reference,
+    event-order-identical to ``"event"``) or ``"hybrid"``, which
     installs a :class:`~repro.sim.hybrid.HybridController` that
     fast-forwards steady-state stretches through the operational-law
     recurrence (exact completion counts, latencies within the declared

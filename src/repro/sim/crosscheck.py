@@ -14,7 +14,8 @@ The hybrid engine's contract (docs/performance.md) is tiered:
 :func:`crosscheck` runs one scenario under both engines and grades
 every clause of that contract; :func:`crosscheck_suite` sweeps the
 standard scenario families (steady adaptive/static runs, SoC crash,
-crash + recovery, a packet-loss window).  The CLI exposes it as
+crash + recovery, a packet-loss window, and a mid-window fault
+transient exercising the adaptive steadiness envelope).  The CLI exposes it as
 ``python -m repro crosscheck`` and ``scripts/bench_trajectory.py
 --check`` gates on it, so a hybrid change that drifts outside the
 declared tolerances fails loudly rather than silently skewing results.
@@ -197,6 +198,12 @@ def standard_scenarios(duration_ns: float = 1_500_000.0,
         "packet-loss": dict(factory=tenants, faults=FaultPlan(
             faults=(PacketLoss("net.server0", 0.02, start=third,
                                end=two_thirds),))),
+        # A crash landing just off the middle of a control window — the
+        # short-run transient that forces the adaptive guard envelope
+        # to re-guard early enough that no analytic in-flight tail
+        # straddles the crash instant (ROADMAP 2(a)).
+        "fault-transient": dict(factory=tenants, faults=FaultPlan(
+            faults=(SocCrash(at=duration_ns * 0.495 + 500.0),))),
     }
 
 

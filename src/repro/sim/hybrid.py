@@ -57,7 +57,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.paths import Opcode
 from repro.sched.tenant import CompletionRecord
 from repro.sim.events import URGENT
-from repro.units import gib_per_s
+from repro.units import gbps, gib_per_s
 
 #: Mode names (kept as plain strings for cheap comparison and repr).
 GUARD = "guard"
@@ -83,6 +83,16 @@ class HybridConfig:
     #: Max relative p50/p99 movement between consecutive ticks for a
     #: tick to count as steady (rules out still-filling queues).
     drift_tol: float = 0.25
+    #: Adapt the fault-transient guard envelope to the observed service
+    #: ceiling (plus token-bucket reservation slack), instead of the
+    #: fixed ``lookahead_ns`` margin.  Keeps analytic in-flight tails
+    #: from straddling a mid-window transient on short runs.
+    adaptive_envelope: bool = True
+    #: Multiplier applied per escalation when a splice-back still finds
+    #: analytic tails inside a blackout margin (envelope re-validation).
+    envelope_growth: float = 1.5
+    #: Hard cap on the adaptive envelope, in ns.
+    max_envelope_ns: float = 300_000.0
     #: Declared relative tolerance on p50/p99 vs pure DES.
     latency_tol: float = 0.35
     #: Declared relative tolerance on goodput vs pure DES.
@@ -99,6 +109,12 @@ class HybridConfig:
             if getattr(self, name) < 0:
                 raise ValueError(
                     f"{name} must be >= 0: {getattr(self, name)}")
+        if self.envelope_growth < 1.0:
+            raise ValueError(
+                f"envelope_growth must be >= 1: {self.envelope_growth}")
+        if self.max_envelope_ns < 0:
+            raise ValueError(
+                f"max_envelope_ns must be >= 0: {self.max_envelope_ns}")
 
 
 class _AnalyticTenant:
@@ -160,9 +176,17 @@ class HybridController:
         #: (tenant, op, lease generation) -> recent service durations.
         self._profiles: Dict[tuple, deque] = {}
         self._blackouts = self._fault_blackouts(faults)
+        # Adaptive guard envelope: the blackout margin grows with the
+        # observed service-time ceiling (so analytic in-flight tails
+        # finish strictly before any fault transient), escalates when a
+        # splice-back proves it too small, and relaxes again after a
+        # clean re-validation.
+        self._service_ceiling = 0.0
+        self._escalations = 0
         # Engagement statistics (surfaced via ServeReport.hybrid_stats).
         self.flips = 0
         self.splices = 0
+        self.escalations = 0
         self.analytic_completions = 0
         self.analytic_arrivals = 0
 
@@ -184,6 +208,7 @@ class HybridController:
 
     def stats(self) -> dict:
         return {"flips": self.flips, "splices": self.splices,
+                "escalations": self.escalations,
                 "analytic_arrivals": self.analytic_arrivals,
                 "analytic_completions": self.analytic_completions}
 
@@ -199,6 +224,8 @@ class HybridController:
             profile = self._profiles[key] = deque(
                 maxlen=self.config.max_profile)
         profile.append(service_ns)
+        if service_ns > self._service_ceiling:
+            self._service_ceiling = service_ns
 
     def wants(self, t) -> bool:
         """Should this tenant's arrival process hand over its stream?"""
@@ -234,8 +261,9 @@ class HybridController:
         if self.mode is ANALYTIC:
             self._advance_all(now)
             self._release_finished(now)
+            margin = self.envelope_ns()
             if self._tenants and self._blackout_within(
-                    now, now + self.tick_ns + self.config.lookahead_ns):
+                    now, now + self.tick_ns + margin, margin):
                 self._reguard(now)
             elif not self._tenants:
                 self.mode = GUARD
@@ -249,11 +277,39 @@ class HybridController:
 
     # -- steadiness ---------------------------------------------------------
 
+    def envelope_ns(self) -> float:
+        """The current fault-transient margin around blackout windows.
+
+        With ``adaptive_envelope`` this is the worst analytic in-flight
+        tail the recurrence can create beyond a settle horizon: the
+        observed service-time ceiling plus the widest token-bucket
+        reservation slack (``workers`` requests reserved ahead at the
+        capped rate), escalated geometrically while splice-backs keep
+        proving it too small.  Never below ``lookahead_ns``; capped at
+        ``max_envelope_ns``.
+        """
+        cfg = self.config
+        if not cfg.adaptive_envelope:
+            return cfg.lookahead_ns
+        slack = 0.0
+        for spec in self.runtime.specs:
+            t = self.runtime._tenants[spec.name]
+            lease = t.lease
+            if lease is not None and lease.rate_cap_gbps:
+                slack = max(slack, spec.workers * max(1, spec.payload)
+                            / gbps(lease.rate_cap_gbps))
+        margin = ((self._service_ceiling + slack)
+                  * cfg.envelope_growth ** self._escalations)
+        return min(cfg.max_envelope_ns, max(cfg.lookahead_ns, margin))
+
     def _steady(self, now: float) -> bool:
         cfg = self.config
+        margin = self.envelope_ns()
         steady = (now >= self.guard_until
                   and not self._blackout_within(
-                      now, now + self.tick_ns + cfg.lookahead_ns))
+                      now, now + self.tick_ns + margin, margin))
+        xshard = getattr(self.runtime, "xshard", None)
+        exported = frozenset(xshard.exports) if xshard is not None else ()
         lost = sum(self.tracker.lost.values())
         if lost != self._lost_seen:
             self._lost_seen = lost
@@ -266,6 +322,12 @@ class HybridController:
             if t.arrivals_done and t.finished >= t.admitted:
                 continue                    # fully drained
             any_active = True
+            if spec.name in exported:
+                # Cross-shard senders stay at event level: the analytic
+                # recurrence completes requests without the runtime's
+                # finish hook, so fast-forwarding would drop their
+                # fabric sends (bulk shipping / remote relays).
+                steady = False
             if t.lease is None:
                 steady = False
                 continue
@@ -323,10 +385,13 @@ class HybridController:
                 windows.append((fault.start, fault.end))
         return windows
 
-    def _blackout_within(self, start: float, end: float) -> bool:
+    def _blackout_within(self, start: float, end: float,
+                         margin: Optional[float] = None) -> bool:
         cfg = self.config
+        if margin is None:
+            margin = cfg.lookahead_ns
         for w_start, w_end in self._blackouts:
-            lo = w_start - cfg.lookahead_ns
+            lo = w_start - margin
             hi = (float("inf") if w_end is None
                   else w_end + cfg.guard_ns)
             if start < hi and end > lo:
@@ -359,6 +424,10 @@ class HybridController:
             return
         self.mode = ANALYTIC
         self.flips += 1
+        if self._escalations:
+            # Clean re-validation: the (possibly escalated) envelope
+            # admitted a flip again — relax it one step.
+            self._escalations -= 1
 
     def _degraded_service(self, spec) -> float:
         from repro.sched.runtime import _RELAY_GIBPS
@@ -467,6 +536,19 @@ class HybridController:
         self._splice_back(now)
 
     def _splice_back(self, now: float) -> None:
+        if self.config.adaptive_envelope:
+            # Envelope re-validation: if any analytic in-flight tail
+            # still reaches into a blackout margin, the envelope was
+            # too small — grow it and hold the guard window until the
+            # tails are flushed, then require a fresh steadiness pass.
+            worst_end = max((entry[0] for at in self._tenants.values()
+                             for entry in at.pending), default=now)
+            if worst_end > now and self._blackout_within(
+                    now, worst_end + self.tick_ns, 0.0):
+                self._escalations += 1
+                self.escalations += 1
+                self.guard_until = max(self.guard_until,
+                                       worst_end + self.config.guard_ns)
         for name, at in self._tenants.items():
             t = at.state
             # In-flight synthesized requests: park one worker per item

@@ -1,63 +1,107 @@
-"""Sharded serving simulation: independent clusters on worker processes.
+"""Sharded serving simulation: clusters on worker processes.
 
 A serving run models one server and its clients; a datacenter-scale
-experiment is many such machines whose tenants never share a fabric.
-Those shards are *independent* — their event timelines only interact
-through the (modeled-per-shard) network — so they can execute on
-separate worker processes and merge afterwards.
+experiment is many such machines.  Each machine is a *shard* with its
+own event timeline; shards execute on separate worker processes and
+merge afterwards.
 
 The execution protocol is conservative time-windowed lockstep: the
 parent advances every shard to the same simulated-time barrier
-(``sync_window_ns``) before any shard may move past it.  With fully
-independent shards the barrier is trivially safe at any window size;
-it is the protocol under which future cross-shard channels (ROADMAP
-item 1) can deliver messages with a one-window delivery guarantee.
-``jobs=1`` runs the same lockstep in-process — the bit-identity
-reference for the multiprocess path, asserted by
-``tests/sim/test_shard.py``.
+(``sync_window_ns``) before any shard may move past it.  Shards may
+now exchange traffic through the cross-shard fabric
+(:mod:`repro.sim.xshard`): outboxes are collected at every barrier,
+routed by a :class:`~repro.sim.xshard.ShardRouter`, and injected into
+the destination shard at the start of the next round as URGENT arrivals
+at their physical delivery instants.  The **one-window delivery
+guarantee** — a message sent in window *W* is delivered in window
+*W+1* — holds iff every inter-shard link latency is at least
+``sync_window_ns``; :func:`run_sharded` validates exactly that.
+``jobs=1`` runs the same lockstep (and the same barrier exchange)
+in-process — the bit-identity reference for the multiprocess path,
+asserted by ``tests/sim/test_shard.py``.
 
 Merging uses :meth:`repro.sched.slo.SloTracker.merge` for the SLO
 windows, concatenates decision logs in time order, and sums per-path
-bandwidth and telemetry counters.  ``elapsed_ns`` is the maximum over
-shards and is rounded up to the sync window (documented divergence
-from an unsharded run; per-tenant latencies and counts are exact).
+bandwidth and telemetry counters (including the ``xshard.*`` fabric
+counters).  ``elapsed_ns`` is the maximum over shards and is rounded
+up to the sync window (documented divergence from an unsharded run;
+per-tenant latencies and counts are exact).
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.sched.serve import ServeReport, ServeSession
 from repro.sched.slo import SloTracker
 from repro.sched.tenant import TenantSpec
+from repro.sim.xshard import (CrossTraffic, ShardChannel, ShardRouter,
+                              ShardTopology)
 
 
 @dataclass(frozen=True)
 class ShardSpec:
-    """One shard: a tenant set (and optional faults) on its own cluster."""
+    """One shard: a tenant set (and optional faults) on its own cluster.
+
+    ``exports`` declares which of this shard's tenants send traffic to
+    other machines (see :class:`~repro.sim.xshard.CrossTraffic`); the
+    plan must then carry (or default) a topology whose link latencies
+    admit the chosen sync window.
+    """
 
     name: str
     tenants: Tuple[TenantSpec, ...]
     faults: Optional[FaultPlan] = None
     fault_seed: int = 0
+    exports: Tuple[CrossTraffic, ...] = ()
 
     def __post_init__(self):
         if not self.tenants:
             raise ValueError(f"shard {self.name!r} has no tenants")
+        names = {t.name for t in self.tenants}
+        seen = set()
+        for export in self.exports:
+            if export.tenant not in names:
+                raise ValueError(
+                    f"shard {self.name!r} exports unknown tenant "
+                    f"{export.tenant!r}")
+            if export.tenant in seen:
+                raise ValueError(
+                    f"shard {self.name!r} exports tenant "
+                    f"{export.tenant!r} twice")
+            seen.add(export.tenant)
+            if export.dst_shard == self.name:
+                raise ValueError(
+                    f"shard {self.name!r} exports {export.tenant!r} "
+                    "to itself")
+
+    def export_map(self) -> Dict[str, CrossTraffic]:
+        return {export.tenant: export for export in self.exports}
 
 
 @dataclass(frozen=True)
 class ShardPlan:
-    """An ordered set of shards with globally unique tenant names."""
+    """An ordered set of shards with globally unique tenant names.
+
+    ``topology`` gives the inter-shard link latencies; when omitted and
+    any shard exports traffic, :func:`run_sharded` defaults to a
+    uniform :class:`~repro.sim.xshard.ShardTopology`.
+    """
 
     shards: Tuple[ShardSpec, ...]
+    topology: Optional[ShardTopology] = None
 
     def __post_init__(self):
         if not self.shards:
             raise ValueError("plan needs at least one shard")
+        shard_names = [shard.name for shard in self.shards]
+        if len(set(shard_names)) != len(shard_names):
+            raise ValueError(
+                f"duplicate shard names: {shard_names} — tenants must "
+                "not overlap machines")
         seen: Dict[str, str] = {}
         for shard in self.shards:
             for spec in shard.tenants:
@@ -66,6 +110,30 @@ class ShardPlan:
                         f"tenant {spec.name!r} appears in shards "
                         f"{seen[spec.name]!r} and {shard.name!r}")
                 seen[spec.name] = shard.name
+        for shard in self.shards:
+            for export in shard.exports:
+                if export.dst_shard not in shard_names:
+                    raise ValueError(
+                        f"shard {shard.name!r} exports "
+                        f"{export.tenant!r} to unknown shard "
+                        f"{export.dst_shard!r}")
+        if self.topology is not None:
+            missing = set(shard_names) - set(self.topology.shards)
+            if missing:
+                raise ValueError(
+                    f"topology is missing shard(s) {sorted(missing)}")
+
+    @property
+    def cross_traffic(self) -> bool:
+        return any(shard.exports for shard in self.shards)
+
+    def resolved_topology(self) -> Optional[ShardTopology]:
+        """The topology to run under (uniform default when exporting)."""
+        if self.topology is not None:
+            return self.topology
+        if self.cross_traffic:
+            return ShardTopology.uniform([s.name for s in self.shards])
+        return None
 
     @classmethod
     def partition(cls, tenants: Sequence[TenantSpec],
@@ -83,19 +151,37 @@ class ShardPlan:
             for i, group in enumerate(groups)))
 
 
-def _make_session(shard: ShardSpec, serve_kwargs: dict) -> ServeSession:
+def _make_session(shard: ShardSpec, serve_kwargs: dict,
+                  topology: Optional[ShardTopology]) -> ServeSession:
+    channel = None
+    if topology is not None:
+        channel = ShardChannel(shard.name, topology, shard.export_map())
     return ServeSession(shard.tenants, faults=shard.faults,
-                        fault_seed=shard.fault_seed, **serve_kwargs)
+                        fault_seed=shard.fault_seed, channel=channel,
+                        **serve_kwargs)
 
 
-def _shard_worker(conn, shard: ShardSpec, serve_kwargs: dict) -> None:
-    """Child-process loop: advance on command, report when asked."""
+def _shard_worker(conn, shard: ShardSpec, serve_kwargs: dict,
+                  topology: Optional[ShardTopology]) -> None:
+    """Child-process loop: advance on command, report when asked.
+
+    Each ``advance`` carries the barrier and this shard's routed
+    inbound messages; the reply carries the session's drained state,
+    the channel's idleness, and the window's outbox.
+    """
     try:
-        session = _make_session(shard, serve_kwargs)
+        session = _make_session(shard, serve_kwargs, topology)
+        channel = session.channel
         while True:
             message = conn.recv()
             if message[0] == "advance":
-                conn.send(("ok", session.advance(message[1])))
+                _cmd, barrier, inbound = message
+                if channel is not None and inbound:
+                    channel.deliver(inbound)
+                done = session.advance(barrier)
+                outbox = channel.collect() if channel is not None else []
+                idle = channel.idle if channel is not None else True
+                conn.send(("ok", done, idle, outbox))
             elif message[0] == "report":
                 conn.send(("report", session.finalize(), session.tracker))
                 return
@@ -110,28 +196,76 @@ def _shard_worker(conn, shard: ShardSpec, serve_kwargs: dict) -> None:
         conn.close()
 
 
+def _wedged(done: Sequence[bool], idle: Sequence[bool],
+            router: ShardRouter, moved: bool) -> bool:
+    """A round where nothing can ever make progress again.
+
+    Every shard is drained, no messages moved or are pending, yet some
+    channel still awaits an ack — the event that would deliver it can
+    no longer be generated anywhere.
+    """
+    return (all(done) and not moved and not router.in_flight
+            and not all(idle))
+
+
 def _run_lockstep_inprocess(shards: Sequence[ShardSpec],
-                            serve_kwargs: dict, sync_window_ns: float):
-    sessions = [_make_session(shard, serve_kwargs) for shard in shards]
+                            serve_kwargs: dict, sync_window_ns: float,
+                            topology: Optional[ShardTopology]):
+    sessions = [_make_session(shard, serve_kwargs, topology)
+                for shard in shards]
+    if topology is None:
+        barrier = 0.0
+        while not all(session.done for session in sessions):
+            barrier += sync_window_ns
+            for session in sessions:
+                session.advance(barrier)
+        return ([session.finalize() for session in sessions],
+                [session.tracker for session in sessions])
+
+    router = ShardRouter(topology)
+    channels = [session.channel for session in sessions]
     barrier = 0.0
-    while not all(session.done for session in sessions):
+    while True:
+        done = [session.done for session in sessions]
+        idle = [channel.idle for channel in channels]
+        if all(done) and all(idle) and not router.in_flight:
+            break
         barrier += sync_window_ns
-        for session in sessions:
+        # Two passes per round so a shard never sees a message sent in
+        # the *same* round (matching the concurrent multiprocess
+        # exchange): deliver + advance everywhere first, collect after.
+        inboxes = [router.take(shard.name) for shard in shards]
+        moved = any(inboxes)
+        for channel, inbox, session in zip(channels, inboxes, sessions):
+            if inbox:
+                channel.deliver(inbox)
             session.advance(barrier)
+        for channel in channels:
+            outbox = channel.collect()
+            moved = moved or bool(outbox)
+            router.route(outbox)
+        if _wedged([s.done for s in sessions],
+                   [c.idle for c in channels], router, moved):
+            raise RuntimeError(
+                "cross-shard fabric wedged: un-acked messages with no "
+                "shard able to make progress")
     return ([session.finalize() for session in sessions],
             [session.tracker for session in sessions])
 
 
 def _run_lockstep_multiprocess(shards: Sequence[ShardSpec],
                                serve_kwargs: dict, sync_window_ns: float,
-                               jobs: int):
+                               jobs: int,
+                               topology: Optional[ShardTopology]):
     ctx = multiprocessing.get_context()
+    router = ShardRouter(topology) if topology is not None else None
     workers = []
     try:
         for shard in shards:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(target=_shard_worker,
-                               args=(child_conn, shard, serve_kwargs),
+                               args=(child_conn, shard, serve_kwargs,
+                                     topology),
                                daemon=True)
             proc.start()
             child_conn.close()
@@ -146,20 +280,36 @@ def _run_lockstep_multiprocess(shards: Sequence[ShardSpec],
 
         barrier = 0.0
         done = [False] * len(workers)
-        while not all(done):
+        idle = [True] * len(workers)
+        while True:
+            if all(done) and all(idle) and (router is None
+                                            or not router.in_flight):
+                break
             barrier += sync_window_ns
             # One barrier round: every live shard gets the new horizon
-            # before any reply is awaited, so shards advance in parallel.
-            for i, (_shard, _proc, conn) in enumerate(workers):
-                if not done[i]:
-                    conn.send(("advance", barrier))
-            for i, (_shard, _proc, conn) in enumerate(workers):
-                if not done[i]:
-                    reply = conn.recv()
-                    if reply[0] == "error":
-                        raise RuntimeError(
-                            f"shard worker failed: {reply[1]}")
-                    done[i] = reply[1]
+            # (and its inbound messages) before any reply is awaited,
+            # so shards advance in parallel.
+            live = []
+            moved = False
+            for i, (shard, _proc, conn) in enumerate(workers):
+                inbound = router.take(shard.name) if router else []
+                moved = moved or bool(inbound)
+                if router is None and done[i]:
+                    continue        # independent shard fully drained
+                conn.send(("advance", barrier, inbound))
+                live.append(i)
+            for i in live:
+                reply = workers[i][2].recv()
+                if reply[0] == "error":
+                    raise RuntimeError(f"shard worker failed: {reply[1]}")
+                _tag, done[i], idle[i], outbox = reply
+                if router is not None and outbox:
+                    moved = True
+                    router.route(outbox)
+            if router is not None and _wedged(done, idle, router, moved):
+                raise RuntimeError(
+                    "cross-shard fabric wedged: un-acked messages with "
+                    "no shard able to make progress")
         reports, trackers = [], []
         for _shard, _proc, conn in workers:
             _tag, report, tracker = ask(conn, "report")
@@ -223,21 +373,35 @@ def merge_reports(reports: Sequence[ServeReport],
 
 
 def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
-                sync_window_ns: float = 200_000.0,
+                sync_window_ns: Optional[float] = None,
                 **serve_kwargs) -> ServeReport:
     """Execute a shard plan and return the merged report.
 
     ``jobs`` — worker processes (``None``/0 → one per shard; 1 → the
-    in-process reference execution).  ``serve_kwargs`` are forwarded to
-    every shard's :class:`~repro.sched.serve.ServeSession` (``engine=
-    "hybrid"`` composes with sharding).  ``trace=True`` is rejected:
-    tracers do not serialize across process boundaries.
+    in-process reference execution).  ``sync_window_ns`` defaults to
+    200 µs for independent shards, and to the topology's tightest link
+    latency when the plan carries cross-shard traffic; an explicit
+    window wider than that latency is rejected — it would silently
+    break the one-window delivery guarantee.  ``serve_kwargs`` are
+    forwarded to every shard's :class:`~repro.sched.serve.ServeSession`
+    (``engine="hybrid"`` composes with sharding; exporting tenants
+    stay at event level).  ``trace=True`` is rejected: tracers do not
+    serialize across process boundaries.
     """
+    topology = plan.resolved_topology()
+    if sync_window_ns is None:
+        sync_window_ns = (topology.min_latency_ns()
+                          if topology is not None else 200_000.0)
     if sync_window_ns <= 0:
         raise ValueError(f"sync window must be positive: {sync_window_ns}")
+    if topology is not None and sync_window_ns > topology.min_latency_ns():
+        raise ValueError(
+            f"sync_window_ns={sync_window_ns} exceeds the shortest "
+            f"inter-shard link latency ({topology.min_latency_ns()} ns): "
+            "the one-window delivery guarantee would not hold")
     if serve_kwargs.get("trace"):
         raise ValueError("trace=True is not supported for sharded runs")
-    for key in ("faults", "fault_seed"):
+    for key in ("faults", "fault_seed", "channel"):
         if key in serve_kwargs:
             raise ValueError(f"pass {key!r} per shard via ShardSpec")
     shards = plan.shards
@@ -245,8 +409,8 @@ def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
         jobs = len(shards)
     if jobs <= 1 or len(shards) == 1:
         reports, trackers = _run_lockstep_inprocess(
-            shards, serve_kwargs, sync_window_ns)
+            shards, serve_kwargs, sync_window_ns, topology)
     else:
         reports, trackers = _run_lockstep_multiprocess(
-            shards, serve_kwargs, sync_window_ns, jobs)
+            shards, serve_kwargs, sync_window_ns, jobs, topology)
     return merge_reports(reports, trackers)

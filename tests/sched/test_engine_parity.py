@@ -1,0 +1,63 @@
+"""Serving-engine parity: the batched queue default vs the DES heap.
+
+``engine="event"`` now runs on :class:`repro.sim.batchq.BatchSimulator`;
+``engine="des-heap"`` keeps the binary-heap :class:`repro.sim.engine.
+Simulator` as the opt-out reference.  The two must be bit-identical —
+this file is the CI parity gate for the default flip.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.plan import FaultPlan, SocCrash
+from repro.sched.serve import ServeSession, mixed_tenant_workload, run_serve
+from repro.sim.batchq import BatchSimulator
+from repro.sim.engine import Simulator
+
+
+def _key(report):
+    return {name: (t.completed, t.rejected, t.lost, t.p50_ns, t.p99_ns,
+                   t.goodput_gbps, t.slo_goodput_gbps)
+            for name, t in report.tenants.items()}
+
+
+def test_default_engine_is_the_batched_queue():
+    session = ServeSession(mixed_tenant_workload(duration_ns=50_000.0))
+    assert isinstance(session.cluster.sim, BatchSimulator)
+    heap = ServeSession(mixed_tenant_workload(duration_ns=50_000.0),
+                        engine="des-heap")
+    assert isinstance(heap.cluster.sim, Simulator)
+    assert type(heap.cluster.sim) is not BatchSimulator
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown serve engine"):
+        run_serve(mixed_tenant_workload(duration_ns=50_000.0),
+                  engine="warp-drive")
+
+
+@settings(max_examples=4, deadline=None)
+@given(st.integers(min_value=0, max_value=40))
+def test_batch_and_heap_engines_bit_identical(seed):
+    """Property: across stream seeds, the batched queue reproduces the
+    heap engine bit-for-bit — counts, latencies and decision log."""
+    batch = run_serve(mixed_tenant_workload(duration_ns=400_000.0,
+                                            seed=seed))
+    heap = run_serve(mixed_tenant_workload(duration_ns=400_000.0,
+                                           seed=seed), engine="des-heap")
+    assert _key(batch) == _key(heap)
+    assert [d.as_tuple() for d in batch.decisions] \
+        == [d.as_tuple() for d in heap.decisions]
+    assert batch.path_gbps == heap.path_gbps
+    assert batch.elapsed_ns == heap.elapsed_ns
+
+
+def test_parity_holds_under_faults():
+    plan = FaultPlan(faults=(SocCrash(at=150_000.0),))
+    batch = run_serve(mixed_tenant_workload(duration_ns=500_000.0, seed=3),
+                      faults=plan)
+    heap = run_serve(mixed_tenant_workload(duration_ns=500_000.0, seed=3),
+                     faults=plan, engine="des-heap")
+    assert _key(batch) == _key(heap)
+    assert [d.as_tuple() for d in batch.decisions] \
+        == [d.as_tuple() for d in heap.decisions]

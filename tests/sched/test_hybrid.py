@@ -98,6 +98,59 @@ def test_long_steady_run_actually_fast_forwards():
     assert stats["analytic_arrivals"] > total / 2
 
 
+def test_fault_transient_mid_window_exact_with_adaptive_envelope():
+    """ROADMAP 2(a): a crash landing just off the middle of a control
+    window used to leave analytic in-flight tails straddling the crash
+    instant on short runs (count divergence).  The adaptive envelope
+    re-guards early enough that every tail is flushed before the
+    transient — counts exact, latencies within tolerance."""
+    for duration in (500_000.0, 600_000.0):
+        at = duration * 0.495 + 500.0
+        result = crosscheck(
+            "fault-transient",
+            lambda duration=duration: mixed_tenant_workload(
+                duration_ns=duration, seed=0),
+            faults=FaultPlan(faults=(SocCrash(at=at),)))
+        assert result.ok, (duration, result.failures())
+
+
+def test_fault_transient_family_in_standard_scenarios():
+    results = crosscheck_suite(duration_ns=600_000.0,
+                               scenarios=["fault-transient"])
+    assert results[0].scenario == "fault-transient"
+    assert results[0].ok, results[0].failures()
+
+
+def test_adaptive_envelope_tracks_service_ceiling():
+    """envelope_ns() = max(lookahead, ceiling + bucket slack), growing
+    geometrically per escalation and capped at max_envelope_ns."""
+    from repro.sched.serve import ServeSession
+    from repro.sim.hybrid import HybridController
+
+    session = ServeSession(mixed_tenant_workload(duration_ns=200_000.0,
+                                                 seed=0), engine="hybrid")
+    controller = session.controller
+    config = controller.config
+    assert controller.envelope_ns() >= config.lookahead_ns
+    session.cluster.sim.run(until=120_000.0)
+    grown = controller.envelope_ns()
+    assert grown >= controller._service_ceiling
+    controller._escalations = 2
+    assert controller.envelope_ns() >= grown
+    controller._escalations = 50
+    assert controller.envelope_ns() == config.max_envelope_ns
+    fixed = HybridController(session.runtime, session.tracker,
+                             config=HybridConfig(adaptive_envelope=False))
+    assert fixed.envelope_ns() == fixed.config.lookahead_ns
+
+
+def test_hybrid_config_validates_envelope_knobs():
+    with pytest.raises(ValueError, match="envelope_growth"):
+        HybridConfig(envelope_growth=0.5)
+    with pytest.raises(ValueError, match="max_envelope_ns"):
+        HybridConfig(max_envelope_ns=-1.0)
+
+
 def test_crosscheck_suite_rejects_unknown_scenarios():
     with pytest.raises(ValueError, match="unknown scenario"):
         crosscheck_suite(scenarios=["nope"])
