@@ -167,3 +167,22 @@ class Session:
         if "engine" not in kwargs and self.options.engine == "hybrid":
             kwargs["engine"] = "hybrid"
         return run_serve(tenants, testbed=self.testbed, **kwargs)
+
+    def serve_sharded(self, plan, **kwargs):
+        """Run a multi-machine shard plan through the lockstep executor.
+
+        Accepts every :func:`repro.sim.shard.run_sharded` keyword
+        (``jobs=``, ``sync_window_ns=``, ``supervisor=`` plus the
+        per-shard serve kwargs) and returns the merged
+        :class:`~repro.sched.ServeReport`.  The plan's
+        ``cluster_faults`` arm rack-scale chaos — machine crashes and
+        fabric loss/partition/delay/reorder — and ``supervisor=``
+        (a :class:`~repro.sim.supervise.SupervisorConfig`) controls
+        worker respawn, window checkpoints and chaos kills
+        (docs/robustness.md).
+        """
+        from repro.sim.shard import run_sharded
+
+        if "engine" not in kwargs and self.options.engine == "hybrid":
+            kwargs["engine"] = "hybrid"
+        return run_sharded(plan, testbed=self.testbed, **kwargs)

@@ -21,7 +21,10 @@ Commands:
   steady state analytically; see docs/scheduling.md).
 * ``crosscheck`` — grade the hybrid serving engine against the pure-DES
   reference over the standard scenario families (exact counts +
-  toleranced latencies; see docs/performance.md).
+  toleranced latencies; see docs/performance.md), plus the
+  ``cluster-fault`` determinism family: sharded chaos runs must be
+  bit-identical across executors and through worker kill/respawn
+  (docs/robustness.md).
 
 ``compare`` accepts ``--nic`` to pick a catalog device
 (bluefield-2 default, bluefield-3, stingray-ps225).
@@ -226,6 +229,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="with --shards > 1: bulk tenants ship their "
                         "completions to the next machine over the "
                         "cross-shard fabric (repro.sim.xshard)")
+    p.add_argument("--cluster-fault-plan", metavar="FILE", default=None,
+                   help="with --shards > 1: JSON cluster fault plan "
+                        "(machine-crash, fabric-loss/-delay/-partition/"
+                        "-reorder; see docs/robustness.md)")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="with --shards > 1: write the window-log "
+                        "checkpoint here at every barrier")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the checkpoint in --checkpoint-dir "
+                        "instead of starting fresh")
+    p.add_argument("--kill-shard", metavar="NAME", default=None,
+                   help="chaos hook: SIGKILL this shard's worker at "
+                        "--kill-window and respawn it from the log")
+    p.add_argument("--kill-window", type=int, default=1,
+                   help="lockstep window at which --kill-shard strikes "
+                        "(default 1)")
+    p.add_argument("--incident-report", metavar="FILE", default=None,
+                   help="write the supervisor's incident log (kills, "
+                        "respawns) as JSON")
     p.add_argument("--decisions", action="store_true",
                    help="append the scheduler's decision log")
     p.add_argument("--json", action="store_true",
@@ -242,7 +264,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    metavar="NAME", default=None,
                    help="run only this scenario family (repeatable; "
                         "default: all of adaptive, static, soc-crash, "
-                        "crash-recover, packet-loss, fault-transient)")
+                        "crash-recover, packet-loss, fault-transient, "
+                        "cluster-fault)")
     p.add_argument("--json", action="store_true",
                    help="emit the graded results as JSON instead of a table")
     return parser
@@ -603,10 +626,29 @@ def _cmd_serve(args) -> str:
             shards.append(replace(shard, faults=faults,
                                   fault_seed=args.fault_seed,
                                   exports=exports))
-        report = run_sharded(ShardPlan(shards=tuple(shards)),
-                             jobs=args.jobs, adaptive=not args.static,
-                             engine=args.engine)
+        cluster_faults = (FaultPlan.from_file(args.cluster_fault_plan)
+                          if args.cluster_fault_plan is not None else None)
+        supervisor = None
+        if (args.checkpoint_dir or args.resume or args.kill_shard
+                or args.incident_report):
+            from repro.sim.supervise import SupervisorConfig
+
+            supervisor = SupervisorConfig(
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                kill_shard=args.kill_shard,
+                kill_window=args.kill_window if args.kill_shard else 0,
+                incident_report=args.incident_report)
+        report = run_sharded(
+            ShardPlan(shards=tuple(shards), cluster_faults=cluster_faults),
+            jobs=args.jobs, supervisor=supervisor,
+            adaptive=not args.static, engine=args.engine)
     else:
+        for flag in ("cluster_fault_plan", "checkpoint_dir", "kill_shard",
+                     "incident_report"):
+            if getattr(args, flag):
+                raise ValueError(
+                    f"--{flag.replace('_', '-')} needs --shards > 1")
         report = run_serve(tenants, adaptive=not args.static, faults=plan,
                            fault_seed=args.fault_seed, engine=args.engine)
     xshard = {key: value for key, value in sorted(report.counters.items())
@@ -633,6 +675,18 @@ def _cmd_serve(args) -> str:
             f"{xshard.get('xshard.served', 0)} served remotely, "
             f"{xshard.get('xshard.relay_requests', 0)} failover relays, "
             f"mean rtt {fmt_ns(mean_rtt)}")
+    cluster = {key: value for key, value in sorted(report.counters.items())
+               if key.startswith(("cluster.", "supervisor."))}
+    if cluster:
+        parts.append(
+            "cluster chaos: "
+            f"{cluster.get('cluster.dropped', 0):.0f} dropped "
+            f"(crash {cluster.get('cluster.dropped_crash', 0):.0f}, "
+            f"partition {cluster.get('cluster.dropped_partition', 0):.0f}, "
+            f"loss {cluster.get('cluster.dropped_loss', 0):.0f}), "
+            f"{cluster.get('cluster.delayed', 0):.0f} delayed, "
+            f"{cluster.get('cluster.reordered', 0):.0f} reordered, "
+            f"{cluster.get('supervisor.respawns', 0):.0f} respawns")
     if report.hybrid_stats is not None:
         stats = ", ".join(f"{key}: {value}"
                           for key, value in sorted(
@@ -649,12 +703,19 @@ def _cmd_serve(args) -> str:
 
 
 def _cmd_crosscheck(args) -> str:
-    from repro.sim.crosscheck import crosscheck_suite
+    from repro.sim.crosscheck import cluster_crosscheck, crosscheck_suite
 
-    results = crosscheck_suite(duration_ns=args.duration, seed=args.seed,
-                               scenarios=args.scenarios)
+    scenarios = args.scenarios
+    run_cluster = scenarios is None or "cluster-fault" in scenarios
+    if scenarios is not None:
+        scenarios = [name for name in scenarios if name != "cluster-fault"]
+    results = ()
+    if scenarios is None or scenarios:
+        results = crosscheck_suite(duration_ns=args.duration,
+                                   seed=args.seed, scenarios=scenarios)
+    cluster = cluster_crosscheck(seed=args.seed) if run_cluster else None
     if args.json:
-        return json.dumps([{
+        rows = [{
             "scenario": r.scenario,
             "ok": r.ok,
             "speedup": r.speedup,
@@ -663,7 +724,16 @@ def _cmd_crosscheck(args) -> str:
             "hybrid_stats": r.hybrid_stats,
             "failures": list(r.failures()),
             "tenants": [vars(t) for t in r.tenants],
-        } for r in results], indent=2)
+        } for r in results]
+        if cluster is not None:
+            rows.append({
+                "scenario": cluster.scenario,
+                "ok": cluster.ok,
+                "clauses": [{"name": name, "ok": ok, "detail": detail}
+                            for name, ok, detail in cluster.clauses],
+                "failures": list(cluster.failures()),
+            })
+        return json.dumps(rows, indent=2)
     rows = []
     for r in results:
         rows.append([
@@ -676,12 +746,23 @@ def _cmd_crosscheck(args) -> str:
             f"{max((t.goodput_err for t in r.tenants), default=0.0):.0%}",
             str(r.hybrid_stats.get("flips", 0)),
         ])
-    table = format_table(
-        ["scenario", "verdict", "speedup", "counts", "decisions",
-         "max p99 err", "max gput err", "flips"],
-        rows, title="hybrid engine vs pure DES "
-                    f"({args.duration:.0f} ns, seed {args.seed})")
+    parts = []
+    if rows:
+        parts.append(format_table(
+            ["scenario", "verdict", "speedup", "counts", "decisions",
+             "max p99 err", "max gput err", "flips"],
+            rows, title="hybrid engine vs pure DES "
+                        f"({args.duration:.0f} ns, seed {args.seed})"))
+    if cluster is not None:
+        parts.append(format_table(
+            ["clause", "verdict", "detail"],
+            [[name, "PASS" if ok else "FAIL", detail]
+             for name, ok, detail in cluster.clauses],
+            title=f"cluster-chaos determinism (seed {args.seed})"))
+    table = "\n\n".join(parts)
     failed = [r for r in results if not r.ok]
+    if cluster is not None and not cluster.ok:
+        failed.append(cluster)
     if failed:
         details = "; ".join(
             f"{r.scenario}: {', '.join(r.failures())}" for r in failed)

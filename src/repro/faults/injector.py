@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.faults.plan import (FaultPlan, LinkDown, LinkFlap, NodeStall,
-                               PacketLoss, SocCrash)
+                               PacketLoss, SocCrash, is_cluster_fault)
 from repro.sim.events import Event
 from repro.sim.links import DuplexChannel, LOST
 from repro.sim.rng import RandomStreams
@@ -82,6 +82,11 @@ class FaultInjector:
             elif isinstance(fault, SocCrash):
                 self._soc_node(fault.server)  # validate at install time
                 self.cluster.sim.process(self._crash_process(fault))
+            elif is_cluster_fault(fault):
+                raise ValueError(
+                    f"{type(fault).__name__} is a cluster-scope fault; "
+                    f"put it in ShardPlan.cluster_faults, not a "
+                    f"single-machine plan")
         for target, faults in drops.items():
             self._wrap_channel(channels[target], faults)
 

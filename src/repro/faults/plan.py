@@ -108,7 +108,123 @@ class SocCrash:
             raise ValueError("recover_at must be after the crash")
 
 
-Fault = Union[PacketLoss, LinkDown, LinkFlap, NodeStall, SocCrash]
+# -- cluster-scope faults -----------------------------------------------------
+#
+# These describe failures of whole machines and of the cross-shard
+# fabric between them.  They are *not* installable on a single-machine
+# SimCluster — they belong in :attr:`repro.sim.shard.ShardPlan.
+# cluster_faults` and are interpreted by
+# :class:`repro.faults.cluster.ClusterInjector`.
+
+
+@dataclass(frozen=True)
+class MachineCrash:
+    """The whole machine hosting ``shard`` dies at ``at``: SoC and host
+    down, fabric messages to and from it dropped, until ``recover_at``
+    (never, when ``None``)."""
+
+    shard: str
+    at: float = 0.0
+    recover_at: Optional[float] = None
+
+    def __post_init__(self):
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError("recover_at must be after the crash")
+
+    def active(self, now: float) -> bool:
+        return _window_active(now, self.at, self.recover_at)
+
+
+@dataclass(frozen=True)
+class FabricPartition:
+    """Shards ``a`` and ``b`` cannot exchange fabric messages in
+    [start, end): everything sent between them is dropped."""
+
+    a: str
+    b: str
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self):
+        if self.a == self.b:
+            raise ValueError(f"partition needs two distinct shards: {self.a}")
+
+    def active(self, now: float) -> bool:
+        return _window_active(now, self.start, self.end)
+
+    def severs(self, src: str, dst: str) -> bool:
+        return {src, dst} == {self.a, self.b}
+
+
+@dataclass(frozen=True)
+class FabricLoss:
+    """Drop each fabric message on ``src``→``dst`` i.i.d. with ``rate``
+    while active.  ``"*"`` matches any shard."""
+
+    rate: float
+    src: str = "*"
+    dst: str = "*"
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1]: {self.rate}")
+
+    def active(self, now: float) -> bool:
+        return _window_active(now, self.start, self.end)
+
+    def matches(self, src: str, dst: str) -> bool:
+        return (self.src in ("*", src)) and (self.dst in ("*", dst))
+
+
+@dataclass(frozen=True)
+class FabricDelay:
+    """Add ``extra_ns`` to the delivery time of each matching fabric
+    message sent while active.  ``"*"`` matches any shard."""
+
+    extra_ns: float
+    src: str = "*"
+    dst: str = "*"
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self):
+        if self.extra_ns <= 0:
+            raise ValueError(f"extra delay must be positive: {self.extra_ns}")
+
+    def active(self, now: float) -> bool:
+        return _window_active(now, self.start, self.end)
+
+    def matches(self, src: str, dst: str) -> bool:
+        return (self.src in ("*", src)) and (self.dst in ("*", dst))
+
+
+@dataclass(frozen=True)
+class FabricReorder:
+    """Shuffle the delivery order of fabric messages bound for ``dst``
+    within each lockstep window while active (delivery stays inside the
+    window, so the one-window guarantee holds).  ``"*"`` matches any
+    shard."""
+
+    dst: str = "*"
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def active(self, now: float) -> bool:
+        return _window_active(now, self.start, self.end)
+
+    def matches(self, dst: str) -> bool:
+        return self.dst in ("*", dst)
+
+
+Fault = Union[PacketLoss, LinkDown, LinkFlap, NodeStall, SocCrash,
+              MachineCrash, FabricPartition, FabricLoss, FabricDelay,
+              FabricReorder]
+
+#: Cluster-scope fault types — only valid inside ``ShardPlan.cluster_faults``.
+CLUSTER_FAULTS = (MachineCrash, FabricPartition, FabricLoss, FabricDelay,
+                  FabricReorder)
 
 _KINDS = {
     "packet-loss": PacketLoss,
@@ -116,8 +232,19 @@ _KINDS = {
     "link-flap": LinkFlap,
     "stall": NodeStall,
     "soc-crash": SocCrash,
+    "machine-crash": MachineCrash,
+    "fabric-partition": FabricPartition,
+    "fabric-loss": FabricLoss,
+    "fabric-delay": FabricDelay,
+    "fabric-reorder": FabricReorder,
 }
 _KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
+
+
+def is_cluster_fault(fault: Fault) -> bool:
+    """Whether ``fault`` targets the cluster (machines/fabric) rather
+    than one machine's internal links and nodes."""
+    return isinstance(fault, CLUSTER_FAULTS)
 
 
 @dataclass(frozen=True)

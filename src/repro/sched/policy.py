@@ -105,6 +105,20 @@ class PathPolicy:
 
     # -- placement ----------------------------------------------------------
 
+    @staticmethod
+    def surviving_host(preferred: str, candidates: Sequence[str]
+                       ) -> Optional[str]:
+        """Cross-machine failover target under cluster faults.
+
+        Deterministic and state-free so every shard and the lockstep
+        parent agree: the preferred destination when it survives, else
+        the first survivor in fabric order, else ``None`` (no machine
+        left — the caller falls back to whatever it has locally).
+        """
+        if preferred in candidates:
+            return preferred
+        return candidates[0] if candidates else None
+
     def place(self, spec: TenantSpec, soc_available: bool = True) -> Placement:
         """Initial placement straight from the advisor's plan."""
         plan = self.advisor.replan(spec.profile(),

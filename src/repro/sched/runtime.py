@@ -40,6 +40,7 @@ from repro.sched.slo import SloTracker
 from repro.sched.tenant import CompletionRecord, TenantSpec
 from repro.units import gbps, gib_per_s, to_mpps
 from repro.sim import Store
+from repro.sim.links import LOST
 from repro.workloads import RangeLimitedPattern, RequestStream, UniformPattern
 
 #: Per-attempt transport tuning for runtime QPs.  Default verbs retry
@@ -195,6 +196,12 @@ class ServingRuntime:
         return all(t.arrivals_done and t.finished >= t.admitted
                    for t in self._tenants.values())
 
+    def progress(self) -> Dict[str, Tuple[int, int]]:
+        """Per-tenant ``(admitted, finished)`` — the runtime-side half
+        of the conservation identity (the tracker holds the rest)."""
+        return {name: (t.admitted, t.finished)
+                for name, t in self._tenants.items()}
+
     def offered_mrps_by_path(self) -> Dict[CommPath, float]:
         """Open-loop offered load currently bound to each path (Mrps)."""
         offered: Dict[CommPath, float] = {}
@@ -295,17 +302,38 @@ class ServingRuntime:
         while True:
             lease = t.lease
             attempts += 1
+            xshard = self.xshard
+            if xshard is not None and xshard.machine_down():
+                # The whole machine (host *and* SoC) is dead: nothing
+                # local can serve or relay this request.  It is lost at
+                # the instant it would have dispatched — never hung.
+                self.cluster.bump("sched.lost")
+                self.cluster.bump("sched.machine_lost")
+                self._finish(t, seq, op, arrived_ns, ok=False,
+                             attempts=attempts, degraded=lease.degraded)
+                return
             if lease.degraded:
-                xshard = self.xshard
                 export = (xshard.exports.get(spec.name)
                           if xshard is not None else None)
+                remote_dst = None
                 if export is not None and export.kind == "failover":
+                    remote_dst = xshard.failover_dst(export)
+                if remote_dst is not None:
                     # Host-ward failover to *another machine*: the
                     # request rides the cross-shard fabric and is
                     # served by the destination shard's host relay;
-                    # latency includes both link traversals.
-                    yield xshard.relay_request(spec.name,
-                                               export.dst_shard, payload)
+                    # latency includes both link traversals.  Under a
+                    # cluster fault plan the destination honors
+                    # liveness (dead machines are replaced by the
+                    # first survivor) and the wait resolves to LOST
+                    # when the ack timeout expires.
+                    outcome = yield xshard.relay_request(
+                        spec.name, remote_dst, payload)
+                    if outcome is LOST:
+                        self.cluster.bump("sched.lost")
+                        self._finish(t, seq, op, arrived_ns, ok=False,
+                                     attempts=attempts, degraded=True)
+                        return
                 else:
                     # Host-local relay: CPU service + DRAM-speed copy.
                     host = self.cluster.node("host")

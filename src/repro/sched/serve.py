@@ -258,6 +258,31 @@ class ServeSession:
     def run_to_completion(self) -> None:
         self.cluster.sim.run()
 
+    def heartbeat(self) -> dict:
+        """Picklable progress digest for the sharded supervisor.
+
+        Per tenant ``(arrivals, completed, rejected, lost, in_flight)``
+        — the terms of the conservation identity the watchdog checks
+        every window (arrivals = admitted + rejected; in-flight =
+        admitted − finished) — plus the bound channel's fabric flow
+        counts ``(sent, handed, fired, timeouts)``.
+        """
+        tenants = {}
+        progress = self.runtime.progress()
+        for spec in self.tenants:
+            admitted, finished = progress[spec.name]
+            rejected = self.tracker.rejected[spec.name]
+            tenants[spec.name] = (
+                admitted + rejected,
+                self.tracker.completed[spec.name],
+                rejected,
+                self.tracker.lost[spec.name],
+                admitted - finished,
+            )
+        fabric = (self.channel.flow_counts() if self.channel is not None
+                  else (0, 0, 0, 0))
+        return {"tenants": tenants, "fabric": fabric}
+
     def finalize(self) -> ServeReport:
         elapsed = self.cluster.sim.now
         warmup = (self.warmup_ns if self.warmup_ns is not None

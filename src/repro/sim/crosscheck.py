@@ -225,3 +225,156 @@ def crosscheck_suite(duration_ns: float = 1_500_000.0, seed: int = 0,
         factory = kwargs.pop("factory")
         results.append(crosscheck(name, factory, config=config, **kwargs))
     return tuple(results)
+
+
+# -- cluster-fault determinism family ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterCheck:
+    """Verdict of the cluster-chaos determinism family.
+
+    Unlike :class:`CrossCheck` this family grades the *sharded
+    executor*, not the hybrid engine: each clause compares two whole
+    cluster runs (multiprocess vs in-process, chaotic vs pristine,
+    killed vs unkilled) that the contract says must agree exactly.
+    """
+
+    scenario: str
+    clauses: Tuple[Tuple[str, bool, str], ...]
+    des_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(ok for _name, ok, _detail in self.clauses)
+
+    def failures(self) -> Tuple[str, ...]:
+        return tuple(f"{name}: {detail}"
+                     for name, ok, detail in self.clauses if not ok)
+
+
+def cluster_chaos_scenario(duration_ns: float = 400_000.0, seed: int = 0):
+    """The standard 4-machine chaos scenario: ``(plan, chaos_plan)``.
+
+    Four shards, each one client tenant plus one bulk tenant; even
+    shards export failover traffic and shard2 ships bulk completions,
+    so the fabric carries both kinds.  The chaos plan crashes two
+    machines (one recovers), loses a quarter of the fabric, delays
+    everything leaving shard2, partitions shard2↔shard3 for a window,
+    and reorders deliveries into shard3 — every cluster fault class at
+    once, all decided by pure hashes of ``seed``.
+    """
+    from repro.faults.plan import (FabricDelay, FabricLoss, FabricPartition,
+                                   FabricReorder, MachineCrash)
+    from repro.sched.tenant import SloSpec, TenantSpec
+    from repro.sim.shard import ShardPlan, ShardSpec
+    from repro.sim.xshard import CrossTraffic
+    from repro.workloads.mix import OpMix
+
+    interval_ns = 4_000.0
+    requests = max(20, int(duration_ns / interval_ns / 2))
+
+    def tenant(name: str, tseed: int, bulk: bool) -> TenantSpec:
+        mix = (OpMix(read=1.0, write=0.0, send=0.0) if bulk
+               else OpMix(read=0.5, write=0.25, send=0.25))
+        return TenantSpec(name=name, payload=4096 if bulk else 256,
+                          interval_ns=interval_ns, requests=requests,
+                          mix=mix, slo=SloSpec(p99_ns=60_000.0),
+                          bulk=bulk, seed=tseed)
+
+    shards = []
+    for i in range(4):
+        kind = "bulk" if i == 2 else "failover"
+        exports = ()
+        if i % 2 == 0 or i == 3:
+            exports = (CrossTraffic(tenant=f"t{i}b",
+                                    dst_shard=f"shard{(i + 1) % 4}",
+                                    kind=kind),)
+        shards.append(ShardSpec(
+            name=f"shard{i}",
+            tenants=(tenant(f"t{i}a", seed * 100 + 10 + i, bulk=False),
+                     tenant(f"t{i}b", seed * 100 + 20 + i, bulk=True)),
+            exports=exports))
+    plan = ShardPlan(shards=tuple(shards))
+    third, two_thirds = duration_ns / 3, 2 * duration_ns / 3
+    chaos = FaultPlan(faults=(
+        MachineCrash(shard="shard0", at=third * 0.5, recover_at=two_thirds),
+        MachineCrash(shard="shard3", at=two_thirds),
+        FabricLoss(rate=0.25),
+        FabricDelay(extra_ns=30_000.0, src="shard2"),
+        FabricPartition(a="shard2", b="shard3", start=third, end=two_thirds),
+        FabricReorder(dst="shard3"),
+    ), seed=seed + 7)
+    return plan, chaos
+
+
+def _cluster_digest(report: ServeReport, counters: bool = True) -> tuple:
+    parts = (
+        tuple(sorted((name, t.completed, t.rejected, t.lost, t.p50_ns,
+                      t.p99_ns, t.goodput_gbps)
+                     for name, t in report.tenants.items())),
+        tuple(d.as_tuple() for d in report.decisions),
+    )
+    if counters:
+        parts += (tuple(sorted(report.counters.items())),)
+    return parts
+
+
+def cluster_crosscheck(duration_ns: float = 400_000.0,
+                       seed: int = 0) -> ClusterCheck:
+    """Grade the cluster-chaos determinism contract (three clauses).
+
+    1. **jobs-identity** — under a plan exercising every cluster fault
+       class, ``jobs=4`` (worker processes) is bit-identical to
+       ``jobs=1`` (the in-process reference): counts, latencies,
+       decision logs and telemetry counters.
+    2. **empty-plan-baseline** — an *empty* cluster fault plan, run
+       under the default supervisor, is bit-identical to the same plan
+       with no cluster machinery at all (chaos is pay-as-you-go).
+    3. **kill-respawn** — a supervised run whose worker is SIGKILLed
+       mid-window and respawned from the window-log checkpoint lands on
+       exactly the counts and decisions of the unkilled run.
+    """
+    from dataclasses import replace
+
+    from repro.sim.shard import run_sharded
+    from repro.sim.supervise import SupervisorConfig
+
+    plan, chaos = cluster_chaos_scenario(duration_ns=duration_ns, seed=seed)
+    chaotic = replace(plan, cluster_faults=chaos)
+    start = time.perf_counter()
+    clauses = []
+
+    ref = run_sharded(chaotic, jobs=1)
+    multi = run_sharded(chaotic, jobs=4)
+    same = _cluster_digest(ref) == _cluster_digest(multi)
+    dropped = int(ref.counters.get("cluster.dropped", 0))
+    clauses.append((
+        "jobs-identity", same,
+        "jobs=4 == jobs=1 under full chaos "
+        f"({dropped} fabric drops)" if same else
+        "jobs=4 diverged from the in-process reference under chaos"))
+
+    baseline = run_sharded(plan, jobs=1)
+    empty = run_sharded(replace(plan, cluster_faults=FaultPlan()),
+                        jobs=1, supervisor=SupervisorConfig())
+    same = _cluster_digest(baseline) == _cluster_digest(empty)
+    clauses.append((
+        "empty-plan-baseline", same,
+        "empty cluster plan + supervisor == pristine run" if same else
+        "an empty cluster plan perturbed the run"))
+
+    killed = run_sharded(chaotic, jobs=4,
+                         supervisor=SupervisorConfig(kill_shard="shard2",
+                                                     kill_window=3))
+    same = (_cluster_digest(multi, counters=False)
+            == _cluster_digest(killed, counters=False))
+    respawns = int(killed.counters.get("supervisor.respawns", 0))
+    clauses.append((
+        "kill-respawn", same,
+        f"SIGKILL + {respawns} respawn(s) reproduced the unkilled run"
+        if same else
+        "a respawned worker diverged from the unkilled run"))
+
+    return ClusterCheck(scenario="cluster-fault", clauses=tuple(clauses),
+                        des_seconds=time.perf_counter() - start)

@@ -8,7 +8,7 @@ merge afterwards.
 The execution protocol is conservative time-windowed lockstep: the
 parent advances every shard to the same simulated-time barrier
 (``sync_window_ns``) before any shard may move past it.  Shards may
-now exchange traffic through the cross-shard fabric
+exchange traffic through the cross-shard fabric
 (:mod:`repro.sim.xshard`): outboxes are collected at every barrier,
 routed by a :class:`~repro.sim.xshard.ShardRouter`, and injected into
 the destination shard at the start of the next round as URGENT arrivals
@@ -19,6 +19,27 @@ guarantee** — a message sent in window *W* is delivered in window
 ``jobs=1`` runs the same lockstep (and the same barrier exchange)
 in-process — the bit-identity reference for the multiprocess path,
 asserted by ``tests/sim/test_shard.py``.
+
+Cluster-scale chaos layers on top (``docs/robustness.md``):
+
+* a :class:`ShardPlan` may carry ``cluster_faults`` — machine crashes
+  and fabric partition/loss/delay/reorder specs
+  (:mod:`repro.faults.plan`), interpreted by a
+  :class:`~repro.faults.cluster.ClusterInjector` whose every decision
+  is a pure hash of the plan seed and message identity, so ``jobs=N``
+  stays bit-identical to ``jobs=1`` under any plan and an *empty* plan
+  is bit-identical to no plan at all;
+* the multiprocess driver is a **supervisor**: worker death and
+  barrier stalls are detected (pipe EOF / poll timeout), the failed
+  worker is respawned, and the :class:`~repro.sim.supervise.WindowLog`
+  — the per-window inbound-message journal, which together with the
+  shard spec fully determines worker state — is replayed into it,
+  landing bit-identical to the worker that died.  The same log
+  serializes to disk for cross-process checkpoint/resume;
+* a :class:`~repro.sim.supervise.ConservationWatchdog` audits every
+  window of every sharded run: per-tenant arrivals must equal
+  completed + rejected + lost + in-flight, and every fabric message
+  sent must be handed over, pending, or accounted dropped.
 
 Merging uses :meth:`repro.sched.slo.SloTracker.merge` for the SLO
 windows, concatenates decision logs in time order, and sums per-path
@@ -31,13 +52,20 @@ per-tenant latencies and counts are exact).
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass, field
+import traceback
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.cluster import ClusterInjector
 from repro.faults.plan import FaultPlan
 from repro.sched.serve import ServeReport, ServeSession
 from repro.sched.slo import SloTracker
 from repro.sched.tenant import TenantSpec
+from repro.sim.supervise import (ConservationWatchdog, FabricWedgedError,
+                                 IncidentLog, ShardWorkerError,
+                                 SupervisorConfig, WindowLog,
+                                 plan_fingerprint)
 from repro.sim.xshard import (CrossTraffic, ShardChannel, ShardRouter,
                               ShardTopology)
 
@@ -87,12 +115,19 @@ class ShardPlan:
     """An ordered set of shards with globally unique tenant names.
 
     ``topology`` gives the inter-shard link latencies; when omitted and
-    any shard exports traffic, :func:`run_sharded` defaults to a
-    uniform :class:`~repro.sim.xshard.ShardTopology`.
+    any shard exports traffic (or a cluster fault plan is present),
+    :func:`run_sharded` defaults to a uniform
+    :class:`~repro.sim.xshard.ShardTopology`.
+
+    ``cluster_faults`` is the rack-scale chaos plan: machine crashes
+    and fabric faults, all cluster-scope
+    (:func:`repro.faults.plan.is_cluster_fault`).  An empty plan is
+    bit-identical to no plan.
     """
 
     shards: Tuple[ShardSpec, ...]
     topology: Optional[ShardTopology] = None
+    cluster_faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if not self.shards:
@@ -122,18 +157,31 @@ class ShardPlan:
             if missing:
                 raise ValueError(
                     f"topology is missing shard(s) {sorted(missing)}")
+        if self.cluster_faults is not None:
+            # Validates fault scope and shard names; the instance used
+            # at run time is built by run_sharded with the topology.
+            ClusterInjector(self.cluster_faults, shard_names)
 
     @property
     def cross_traffic(self) -> bool:
         return any(shard.exports for shard in self.shards)
 
+    @property
+    def chaotic(self) -> bool:
+        """Whether a non-empty cluster fault plan is armed."""
+        return self.cluster_faults is not None and not self.cluster_faults.empty
+
     def resolved_topology(self) -> Optional[ShardTopology]:
-        """The topology to run under (uniform default when exporting)."""
+        """The topology to run under (uniform default when exporting
+        or when cluster faults need the fabric oracle everywhere)."""
         if self.topology is not None:
             return self.topology
-        if self.cross_traffic:
+        if self.cross_traffic or self.chaotic:
             return ShardTopology.uniform([s.name for s in self.shards])
         return None
+
+    def with_cluster_faults(self, faults: FaultPlan) -> "ShardPlan":
+        return replace(self, cluster_faults=faults)
 
     @classmethod
     def partition(cls, tenants: Sequence[TenantSpec],
@@ -151,26 +199,51 @@ class ShardPlan:
             for i, group in enumerate(groups)))
 
 
+def _lowered(shard: ShardSpec, injector: ClusterInjector) -> ShardSpec:
+    """Fold the shard's machine crashes into its own local fault plan.
+
+    Inside the shard a machine death is an SoC crash (QPs error, the
+    path policy fails host-ward) with the same recovery schedule; the
+    host side is enforced by the runtime's dispatch-time liveness
+    check and the fabric-level drops.
+    """
+    extra = injector.local_faults(shard.name)
+    if not extra:
+        return shard
+    base = shard.faults if shard.faults is not None else FaultPlan()
+    return replace(shard, faults=base.with_faults(*extra))
+
+
 def _make_session(shard: ShardSpec, serve_kwargs: dict,
-                  topology: Optional[ShardTopology]) -> ServeSession:
+                  topology: Optional[ShardTopology],
+                  injector: Optional[ClusterInjector] = None,
+                  fault_timeout_ns: Optional[float] = None) -> ServeSession:
     channel = None
     if topology is not None:
-        channel = ShardChannel(shard.name, topology, shard.export_map())
+        channel = ShardChannel(shard.name, topology, shard.export_map(),
+                               injector=injector,
+                               fault_timeout_ns=fault_timeout_ns)
     return ServeSession(shard.tenants, faults=shard.faults,
                         fault_seed=shard.fault_seed, channel=channel,
                         **serve_kwargs)
 
 
 def _shard_worker(conn, shard: ShardSpec, serve_kwargs: dict,
-                  topology: Optional[ShardTopology]) -> None:
+                  topology: Optional[ShardTopology],
+                  injector: Optional[ClusterInjector] = None,
+                  fault_timeout_ns: Optional[float] = None) -> None:
     """Child-process loop: advance on command, report when asked.
 
     Each ``advance`` carries the barrier and this shard's routed
     inbound messages; the reply carries the session's drained state,
-    the channel's idleness, and the window's outbox.
+    the channel's idleness, the window's outbox, and the heartbeat
+    digest for the conservation watchdog.  A worker-side exception is
+    shipped to the parent with the shard name and the full traceback,
+    so a crashed shard is attributable without re-running.
     """
     try:
-        session = _make_session(shard, serve_kwargs, topology)
+        session = _make_session(shard, serve_kwargs, topology,
+                                injector, fault_timeout_ns)
         channel = session.channel
         while True:
             message = conn.recv()
@@ -181,19 +254,37 @@ def _shard_worker(conn, shard: ShardSpec, serve_kwargs: dict,
                 done = session.advance(barrier)
                 outbox = channel.collect() if channel is not None else []
                 idle = channel.idle if channel is not None else True
-                conn.send(("ok", done, idle, outbox))
+                conn.send(("ok", done, idle, outbox, session.heartbeat()))
             elif message[0] == "report":
                 conn.send(("report", session.finalize(), session.tracker))
                 return
             else:  # pragma: no cover - protocol misuse
                 raise ValueError(f"unknown command {message[0]!r}")
-    except Exception as exc:  # pragma: no cover - surfaced in parent
+    except Exception:  # pragma: no cover - surfaced in parent
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(("error", shard.name, traceback.format_exc()))
         except (BrokenPipeError, OSError):
             pass
     finally:
         conn.close()
+
+
+def _reap_worker(proc, shard_name: str, join_timeout_s: float = 5.0,
+                 kill_grace_s: float = 2.0) -> None:
+    """Put one worker process down for good: join, then terminate,
+    then kill, each on its own timeout, warning with the shard's name
+    if even SIGKILL could not reap it."""
+    proc.join(timeout=join_timeout_s)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=kill_grace_s)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=kill_grace_s)
+    if proc.is_alive():  # pragma: no cover - kernel refused SIGKILL
+        warnings.warn(
+            f"shard worker {shard_name!r} survived terminate and kill "
+            f"(pid {proc.pid}); abandoning it")
 
 
 def _wedged(done: Sequence[bool], idle: Sequence[bool],
@@ -208,120 +299,349 @@ def _wedged(done: Sequence[bool], idle: Sequence[bool],
             and not all(idle))
 
 
+class _WorkerGone(Exception):
+    """A worker died or stalled — respawnable, unlike a worker error."""
+
+
 def _run_lockstep_inprocess(shards: Sequence[ShardSpec],
                             serve_kwargs: dict, sync_window_ns: float,
-                            topology: Optional[ShardTopology]):
-    sessions = [_make_session(shard, serve_kwargs, topology)
-                for shard in shards]
-    if topology is None:
-        barrier = 0.0
-        while not all(session.done for session in sessions):
-            barrier += sync_window_ns
-            for session in sessions:
-                session.advance(barrier)
-        return ([session.finalize() for session in sessions],
-                [session.tracker for session in sessions])
+                            topology: Optional[ShardTopology],
+                            injector: Optional[ClusterInjector],
+                            fault_timeout_ns: Optional[float],
+                            config: Optional[SupervisorConfig],
+                            log: WindowLog, incidents: IncidentLog,
+                            resumed: bool):
+    cfg = config if config is not None else SupervisorConfig()
+    names = [shard.name for shard in shards]
+    by_name = {shard.name: shard for shard in shards}
+    sessions = {name: _make_session(by_name[name], serve_kwargs, topology,
+                                    injector, fault_timeout_ns)
+                for name in names}
+    router = ShardRouter(topology) if topology is not None else None
+    watchdog = ConservationWatchdog()
+    heartbeats: Dict[str, dict] = {}
 
-    router = ShardRouter(topology)
-    channels = [session.channel for session in sessions]
-    barrier = 0.0
-    while True:
-        done = [session.done for session in sessions]
-        idle = [channel.idle for channel in channels]
-        if all(done) and all(idle) and not router.in_flight:
-            break
-        barrier += sync_window_ns
-        # Two passes per round so a shard never sees a message sent in
-        # the *same* round (matching the concurrent multiprocess
-        # exchange): deliver + advance everywhere first, collect after.
-        inboxes = [router.take(shard.name) for shard in shards]
-        moved = any(inboxes)
-        for channel, inbox, session in zip(channels, inboxes, sessions):
-            if inbox:
-                channel.deliver(inbox)
-            session.advance(barrier)
-        for channel in channels:
+    def replay_one(name: str,
+                   windows: Sequence[Tuple[float, dict]]) -> ServeSession:
+        # A ServeSession is a pure function of its spec, so a fresh one
+        # re-living the logged windows is bit-identical to the one that
+        # was killed.  Outboxes are discarded: the router already saw
+        # them.
+        session = _make_session(by_name[name], serve_kwargs, topology,
+                                injector, fault_timeout_ns)
+        for barrier_k, inbound_k in windows:
+            if session.channel is not None and inbound_k.get(name):
+                session.channel.deliver(inbound_k[name])
+            session.advance(barrier_k)
+            if session.channel is not None:
+                session.channel.collect()
+        return session
+
+    def route_window(barrier_now: float) -> bool:
+        """Collect + route every channel's outbox; True if any moved."""
+        moved_here = False
+        for name in names:
+            channel = sessions[name].channel
+            if channel is None:
+                continue
             outbox = channel.collect()
-            moved = moved or bool(outbox)
-            router.route(outbox)
-        if _wedged([s.done for s in sessions],
-                   [c.idle for c in channels], router, moved):
-            raise RuntimeError(
-                "cross-shard fabric wedged: un-acked messages with no "
-                "shard able to make progress")
-    return ([session.finalize() for session in sessions],
-            [session.tracker for session in sessions])
+            moved_here = moved_here or bool(outbox)
+            if injector is not None:
+                outbox = injector.apply_outbox(outbox)
+            if outbox:
+                router.route(outbox)
+        return moved_here
+
+    def audit(barrier_now: float) -> None:
+        for name in names:
+            heartbeats[name] = sessions[name].heartbeat()
+        watchdog.check(
+            barrier_now, heartbeats,
+            router.pending_count if router is not None else 0,
+            injector.dropped if injector is not None else 0)
+
+    barrier = 0.0
+    window_no = 0
+    if resumed:
+        # Re-live the checkpointed prefix: logged inboxes are delivered
+        # verbatim; routing each window's surviving outboxes (and
+        # taking-and-discarding the regenerated inboxes) rebuilds the
+        # router contents and the injector counters exactly.
+        last = len(log.windows) - 1
+        for k, (barrier_k, inbound_k) in enumerate(log.windows):
+            window_no += 1
+            barrier = barrier_k
+            for name in names:
+                session = sessions[name]
+                if session.channel is not None and inbound_k.get(name):
+                    session.channel.deliver(inbound_k[name])
+                session.advance(barrier_k)
+            route_window(barrier_k)
+            audit(barrier_k)
+            if k < last and router is not None:
+                next_barrier = log.windows[k + 1][0]
+                for name in names:
+                    inbox = router.take(name)
+                    if injector is not None:
+                        injector.shuffle_inbox(name, next_barrier, inbox)
+
+    while True:
+        done_flags = [sessions[name].done for name in names]
+        idle_flags = [sessions[name].channel.idle
+                      if sessions[name].channel is not None else True
+                      for name in names]
+        if all(done_flags) and all(idle_flags) and (
+                router is None or not router.in_flight):
+            break
+        window_no += 1
+        barrier += sync_window_ns
+        inbound: Dict[str, list] = {}
+        moved = False
+        for name in names:
+            inbox = router.take(name) if router is not None else []
+            if injector is not None:
+                inbox = injector.shuffle_inbox(name, barrier, inbox)
+            inbound[name] = inbox
+            moved = moved or bool(inbox)
+        log.record(barrier, inbound)
+        if cfg.checkpoint_dir and window_no % cfg.checkpoint_every == 0:
+            log.save(cfg.checkpoint_dir)
+        if cfg.kill_shard is not None and window_no == cfg.kill_window:
+            # Chaos hook, in-process flavor: throw the victim's session
+            # away and rebuild it from the window log — exactly the
+            # replay the multiprocess supervisor performs on a worker
+            # death, minus the process machinery.
+            incidents.record("kill-injected", cfg.kill_shard, window_no,
+                             "chaos hook: session discarded")
+            incidents.record("respawn", cfg.kill_shard, window_no,
+                             "rebuilt from the window log")
+            sessions[cfg.kill_shard] = replay_one(cfg.kill_shard,
+                                                  log.windows[:-1])
+        for name in names:
+            session = sessions[name]
+            if session.channel is not None and inbound[name]:
+                session.channel.deliver(inbound[name])
+            session.advance(barrier)
+        moved = route_window(barrier) or moved
+        audit(barrier)
+        if router is not None and _wedged(
+                [sessions[name].done for name in names],
+                [sessions[name].channel.idle for name in names],
+                router, moved):
+            raise FabricWedgedError(
+                done={name: sessions[name].done for name in names},
+                idle={name: sessions[name].channel.idle for name in names},
+                pending=router.pending_by_shard())
+    watchdog.assert_drained(barrier, heartbeats)
+    return ([sessions[name].finalize() for name in names],
+            [sessions[name].tracker for name in names])
 
 
 def _run_lockstep_multiprocess(shards: Sequence[ShardSpec],
                                serve_kwargs: dict, sync_window_ns: float,
                                jobs: int,
-                               topology: Optional[ShardTopology]):
+                               topology: Optional[ShardTopology],
+                               injector: Optional[ClusterInjector],
+                               fault_timeout_ns: Optional[float],
+                               config: Optional[SupervisorConfig],
+                               log: WindowLog, incidents: IncidentLog,
+                               resumed: bool):
+    cfg = config if config is not None else SupervisorConfig()
     ctx = multiprocessing.get_context()
     router = ShardRouter(topology) if topology is not None else None
-    workers = []
-    try:
-        for shard in shards:
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(target=_shard_worker,
-                               args=(child_conn, shard, serve_kwargs,
-                                     topology),
-                               daemon=True)
-            proc.start()
-            child_conn.close()
-            workers.append((shard, proc, parent_conn))
+    watchdog = ConservationWatchdog()
+    names = [shard.name for shard in shards]
+    n = len(shards)
+    procs: List = [None] * n
+    conns: List = [None] * n
+    heartbeats: Dict[str, dict] = {}
 
-        def ask(conn, *message):
-            conn.send(message)
+    def spawn(i: int) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_shard_worker,
+                           args=(child_conn, shards[i], serve_kwargs,
+                                 topology, injector, fault_timeout_ns),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        procs[i], conns[i] = proc, parent_conn
+
+    def send(i: int, message: tuple) -> None:
+        try:
+            conns[i].send(message)
+        except (BrokenPipeError, OSError):
+            pass                   # death surfaces on the recv side
+
+    def recv(i: int) -> tuple:
+        proc, conn = procs[i], conns[i]
+        try:
+            if not conn.poll(cfg.exchange_timeout_s):
+                state = ("alive but stalled" if proc.is_alive()
+                         else "dead")
+                raise _WorkerGone(
+                    f"no barrier reply within {cfg.exchange_timeout_s:g}s "
+                    f"(process {state})")
             reply = conn.recv()
-            if reply[0] == "error":
-                raise RuntimeError(f"shard worker failed: {reply[1]}")
-            return reply
+        except (EOFError, OSError) as exc:
+            raise _WorkerGone(f"pipe to worker closed: {exc!r}")
+        if reply[0] == "error":
+            # A worker-side exception is deterministic: a respawn would
+            # replay straight into it.  Surface it with its traceback.
+            raise ShardWorkerError(reply[1], reply[2])
+        return reply
 
+    def respawn(i: int, prefix: Sequence[Tuple[float, dict]],
+                failure: _WorkerGone, window_no: int) -> None:
+        name = names[i]
+        incidents.record("respawn", name, window_no, str(failure))
+        if incidents.respawns > cfg.max_respawns:
+            raise ShardWorkerError(
+                name, f"respawn budget ({cfg.max_respawns}) exhausted; "
+                      f"last failure: {failure}")
+        try:
+            conns[i].close()
+        except OSError:
+            pass
+        if procs[i].is_alive():
+            procs[i].terminate()
+        _reap_worker(procs[i], name, cfg.join_timeout_s, cfg.kill_grace_s)
+        spawn(i)
+        # Deterministic replay: the fresh worker re-lives every logged
+        # window; its state after the last equals the lost worker's at
+        # its final barrier.  Outboxes are discarded — the router
+        # already routed (or delivered) them.
+        for barrier_k, inbound_k in prefix:
+            send(i, ("advance", barrier_k, inbound_k.get(name, [])))
+            recv(i)
+
+    def exchange(i: int, barrier: float, window_no: int,
+                 prefix: Sequence[Tuple[float, dict]],
+                 current: Dict[str, list]) -> tuple:
+        """Await window ``window_no``'s reply, supervising the worker:
+        death or stall → respawn, replay ``prefix``, re-advance with
+        ``current``, and await again."""
+        while True:
+            try:
+                return recv(i)
+            except _WorkerGone as failure:
+                respawn(i, prefix, failure, window_no)
+                send(i, ("advance", barrier, current.get(names[i], [])))
+
+    try:
+        for i in range(n):
+            spawn(i)
+        done = [False] * n
+        idle = [True] * n
         barrier = 0.0
-        done = [False] * len(workers)
-        idle = [True] * len(workers)
+        window_no = 0
+        if resumed:
+            # Catch every worker up to the checkpoint; routing each
+            # window's surviving outboxes (and discarding the
+            # regenerated inboxes — the log holds them verbatim)
+            # rebuilds the router and injector counters exactly.
+            last = len(log.windows) - 1
+            for k, (barrier_k, inbound_k) in enumerate(log.windows):
+                window_no += 1
+                barrier = barrier_k
+                for i in range(n):
+                    send(i, ("advance", barrier_k,
+                             inbound_k.get(names[i], [])))
+                for i in range(n):
+                    reply = exchange(i, barrier_k, window_no,
+                                     log.windows[:k], inbound_k)
+                    _tag, done[i], idle[i], outbox, beat = reply
+                    heartbeats[names[i]] = beat
+                    if injector is not None:
+                        outbox = injector.apply_outbox(outbox)
+                    if router is not None and outbox:
+                        router.route(outbox)
+                watchdog.check(
+                    barrier_k, heartbeats,
+                    router.pending_count if router is not None else 0,
+                    injector.dropped if injector is not None else 0)
+                if k < last and router is not None:
+                    next_barrier = log.windows[k + 1][0]
+                    for name in names:
+                        inbox = router.take(name)
+                        if injector is not None:
+                            injector.shuffle_inbox(name, next_barrier, inbox)
+
         while True:
             if all(done) and all(idle) and (router is None
                                             or not router.in_flight):
                 break
+            window_no += 1
             barrier += sync_window_ns
+            inbound: Dict[str, list] = {}
+            moved = False
+            for i, name in enumerate(names):
+                inbox = router.take(name) if router is not None else []
+                if injector is not None:
+                    inbox = injector.shuffle_inbox(name, barrier, inbox)
+                inbound[name] = inbox
+                moved = moved or bool(inbox)
+            log.record(barrier, inbound)
+            if cfg.checkpoint_dir and window_no % cfg.checkpoint_every == 0:
+                log.save(cfg.checkpoint_dir)
             # One barrier round: every live shard gets the new horizon
             # (and its inbound messages) before any reply is awaited,
             # so shards advance in parallel.
             live = []
-            moved = False
-            for i, (shard, _proc, conn) in enumerate(workers):
-                inbound = router.take(shard.name) if router else []
-                moved = moved or bool(inbound)
+            for i, name in enumerate(names):
                 if router is None and done[i]:
                     continue        # independent shard fully drained
-                conn.send(("advance", barrier, inbound))
+                send(i, ("advance", barrier, inbound[name]))
                 live.append(i)
+            if cfg.kill_shard is not None and window_no == cfg.kill_window:
+                victim = names.index(cfg.kill_shard)
+                if procs[victim].is_alive():
+                    incidents.record("kill-injected", cfg.kill_shard,
+                                     window_no, "chaos hook: SIGKILL")
+                    procs[victim].kill()
             for i in live:
-                reply = workers[i][2].recv()
-                if reply[0] == "error":
-                    raise RuntimeError(f"shard worker failed: {reply[1]}")
-                _tag, done[i], idle[i], outbox = reply
-                if router is not None and outbox:
+                reply = exchange(i, barrier, window_no,
+                                 log.windows[:-1], inbound)
+                _tag, done[i], idle[i], outbox, beat = reply
+                heartbeats[names[i]] = beat
+                if outbox:
                     moved = True
-                    router.route(outbox)
+                    if injector is not None:
+                        outbox = injector.apply_outbox(outbox)
+                    if router is not None and outbox:
+                        router.route(outbox)
+            watchdog.check(
+                barrier, heartbeats,
+                router.pending_count if router is not None else 0,
+                injector.dropped if injector is not None else 0)
             if router is not None and _wedged(done, idle, router, moved):
-                raise RuntimeError(
-                    "cross-shard fabric wedged: un-acked messages with "
-                    "no shard able to make progress")
-        reports, trackers = [], []
-        for _shard, _proc, conn in workers:
-            _tag, report, tracker = ask(conn, "report")
-            reports.append(report)
-            trackers.append(tracker)
+                raise FabricWedgedError(
+                    done=dict(zip(names, done)),
+                    idle=dict(zip(names, idle)),
+                    pending=router.pending_by_shard())
+        watchdog.assert_drained(barrier, heartbeats)
+        reports: List = [None] * n
+        trackers: List = [None] * n
+        for i in range(n):
+            send(i, ("report",))
+            while True:
+                try:
+                    reply = recv(i)
+                    break
+                except _WorkerGone as failure:
+                    respawn(i, log.windows, failure, window_no)
+                    send(i, ("report",))
+            _tag, reports[i], trackers[i] = reply
         return reports, trackers
     finally:
-        for _shard, proc, conn in workers:
-            conn.close()
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
+        for i in range(n):
+            if procs[i] is None:
+                continue
+            try:
+                conns[i].close()
+            except OSError:
+                pass
+            _reap_worker(procs[i], names[i],
+                         cfg.join_timeout_s, cfg.kill_grace_s)
 
 
 def merge_reports(reports: Sequence[ServeReport],
@@ -374,6 +694,7 @@ def merge_reports(reports: Sequence[ServeReport],
 
 def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
                 sync_window_ns: Optional[float] = None,
+                supervisor: Optional[SupervisorConfig] = None,
                 **serve_kwargs) -> ServeReport:
     """Execute a shard plan and return the merged report.
 
@@ -387,8 +708,21 @@ def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
     (``engine="hybrid"`` composes with sharding; exporting tenants
     stay at event level).  ``trace=True`` is rejected: tracers do not
     serialize across process boundaries.
+
+    ``supervisor`` configures worker supervision, checkpointing, chaos
+    kills and incident reporting
+    (:class:`~repro.sim.supervise.SupervisorConfig`); multiprocess runs
+    are supervised with the defaults even when it is omitted.  The
+    plan's ``cluster_faults`` arm the
+    :class:`~repro.faults.cluster.ClusterInjector`; its ``cluster.*``
+    counters join the merged report, and the conservation watchdog
+    audits every window either way.
     """
     topology = plan.resolved_topology()
+    injector = None
+    if plan.chaotic:
+        injector = ClusterInjector(plan.cluster_faults,
+                                   [s.name for s in plan.shards], topology)
     if sync_window_ns is None:
         sync_window_ns = (topology.min_latency_ns()
                           if topology is not None else 200_000.0)
@@ -405,12 +739,43 @@ def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
         if key in serve_kwargs:
             raise ValueError(f"pass {key!r} per shard via ShardSpec")
     shards = plan.shards
+    fault_timeout_ns = None
+    if injector is not None:
+        shards = tuple(_lowered(shard, injector) for shard in shards)
+        fault_timeout_ns = injector.fault_timeout_ns()
+    if (supervisor is not None and supervisor.kill_shard is not None
+            and supervisor.kill_shard not in {s.name for s in shards}):
+        raise ValueError(
+            f"kill_shard {supervisor.kill_shard!r} is not in the plan; "
+            f"shards: {[s.name for s in shards]}")
+    incidents = IncidentLog()
+    fingerprint = plan_fingerprint(plan, sync_window_ns, serve_kwargs)
+    resumed = False
+    if supervisor is not None and supervisor.resume:
+        log = WindowLog.load(supervisor.checkpoint_dir,
+                             expect_fingerprint=fingerprint)
+        resumed = len(log) > 0
+    else:
+        log = WindowLog(fingerprint, sync_window_ns)
     if jobs is None or jobs == 0:
         jobs = len(shards)
     if jobs <= 1 or len(shards) == 1:
         reports, trackers = _run_lockstep_inprocess(
-            shards, serve_kwargs, sync_window_ns, topology)
+            shards, serve_kwargs, sync_window_ns, topology, injector,
+            fault_timeout_ns, supervisor, log, incidents, resumed)
     else:
         reports, trackers = _run_lockstep_multiprocess(
-            shards, serve_kwargs, sync_window_ns, jobs, topology)
-    return merge_reports(reports, trackers)
+            shards, serve_kwargs, sync_window_ns, jobs, topology, injector,
+            fault_timeout_ns, supervisor, log, incidents, resumed)
+    if supervisor is not None and supervisor.checkpoint_dir:
+        log.complete = True
+        log.save(supervisor.checkpoint_dir)
+    if supervisor is not None and supervisor.incident_report:
+        incidents.save(supervisor.incident_report)
+    report = merge_reports(reports, trackers)
+    if injector is not None:
+        report.counters.update(injector.counters())
+    if incidents.incidents:
+        report.counters["supervisor.incidents"] = len(incidents.incidents)
+        report.counters["supervisor.respawns"] = incidents.respawns
+    return report

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.events import URGENT
+from repro.sim.links import LOST
 from repro.sim.resources import Resource
 from repro.units import gib_per_s
 
@@ -169,12 +170,25 @@ class ShardChannel:
     """
 
     def __init__(self, shard: str, topology: ShardTopology,
-                 exports: Mapping[str, CrossTraffic] = ()):
+                 exports: Mapping[str, CrossTraffic] = (),
+                 injector=None, fault_timeout_ns: Optional[float] = None):
         if shard not in topology.shards:
             raise ValueError(f"shard {shard!r} not in topology "
                              f"{list(topology.shards)}")
+        if fault_timeout_ns is not None and fault_timeout_ns <= 0:
+            raise ValueError(
+                f"fault timeout must be positive: {fault_timeout_ns}")
         self.shard = shard
         self.topology = topology
+        #: Cluster-fault liveness oracle (a
+        #: :class:`repro.faults.cluster.ClusterInjector`), or ``None``
+        #: when the run has no cluster fault plan.
+        self.injector = injector
+        #: Ack timeout, ns.  ``None`` (the default) means the fabric is
+        #: trusted: senders wait forever, exactly the pre-fault
+        #: behavior.  Armed only when a cluster fault plan can actually
+        #: drop messages.
+        self.fault_timeout_ns = fault_timeout_ns
         self.exports: Dict[str, CrossTraffic] = dict(exports or {})
         for name, export in self.exports.items():
             if export.tenant != name:
@@ -189,6 +203,13 @@ class ShardChannel:
         self._waiters: Dict[int, object] = {}   # msg_id -> sim Event
         self._session = None                    # bound by ServeSession
         self._relay: Optional[Resource] = None
+        # Flow-conservation counts for the supervisor's watchdog:
+        # every message sent must end up handed over by the router,
+        # still pending in it, or dropped by the cluster injector.
+        self.sent_count = 0
+        self.handed_count = 0
+        self.fired_count = 0
+        self.timeout_count = 0
 
     # -- session binding ----------------------------------------------------
 
@@ -226,6 +247,7 @@ class ShardChannel:
             msg_id=next(self._ids), reply_to=reply_to,
             origin_send_ns=origin_send_ns)
         self._outbox.append(message)
+        self.sent_count += 1
         self.cluster.bump("xshard.sent")
         self.cluster.bump("xshard.sent_bytes", nbytes)
         return message
@@ -234,15 +256,64 @@ class ShardChannel:
         """Asynchronous completion shipping (kind="bulk")."""
         message = self._post(dst, "bulk", tenant, nbytes)
         self._waiters[message.msg_id] = None     # ack expected, nobody waits
+        self._arm_timeout(message.msg_id)
 
     def relay_request(self, tenant: str, dst: str, nbytes: int):
         """Remote host-ward relay: returns the event the worker waits
-        on; it succeeds at the instant the remote ack is delivered."""
+        on; it succeeds at the instant the remote ack is delivered —
+        or, on a faulted fabric, with :data:`~repro.sim.links.LOST`
+        when the ack timeout expires."""
         message = self._post(dst, "relay", tenant, nbytes)
         event = self.sim.event()
         self._waiters[message.msg_id] = event
+        self._arm_timeout(message.msg_id)
         self.cluster.bump("xshard.relay_requests")
         return event
+
+    def _arm_timeout(self, msg_id: int) -> None:
+        if self.fault_timeout_ns is not None:
+            self.sim.process(self._expire(msg_id))
+
+    def _expire(self, msg_id: int):
+        yield self.sim.timeout(self.fault_timeout_ns)
+        if msg_id not in self._waiters:
+            return                               # acked in time
+        waiter = self._waiters.pop(msg_id)
+        self.timeout_count += 1
+        self.cluster.bump("xshard.timeouts")
+        if waiter is not None:
+            waiter.succeed(LOST)
+
+    # -- cluster-fault oracle ------------------------------------------------
+
+    def machine_down(self, now: Optional[float] = None) -> bool:
+        """Whether *this* shard's machine is dead right now (always
+        ``False`` without a cluster fault plan)."""
+        if self.injector is None:
+            return False
+        return self.injector.machine_down(
+            self.shard, self.sim.now if now is None else now)
+
+    def failover_dst(self, export: CrossTraffic) -> Optional[str]:
+        """Where a ``"failover"`` relay should go, honoring liveness.
+
+        Without a cluster plan this is simply the export's configured
+        destination.  With one, a dead destination machine is replaced
+        by the first surviving shard in fabric order
+        (:meth:`repro.sched.policy.PathPolicy.surviving_host`); ``None``
+        means no machine survives and the caller must fall back to the
+        local relay."""
+        if self.injector is None:
+            return export.dst_shard
+        from repro.sched.policy import PathPolicy
+        now = self.sim.now
+        candidates = [s for s in self.topology.shards
+                      if s != self.shard
+                      and not self.injector.machine_down(s, now)]
+        dst = PathPolicy.surviving_host(export.dst_shard, candidates)
+        if dst is not None and dst != export.dst_shard:
+            self.cluster.bump("xshard.rerouted")
+        return dst
 
     # -- barrier protocol ---------------------------------------------------
 
@@ -263,7 +334,13 @@ class ShardChannel:
             if message.dst != self.shard:       # pragma: no cover - misroute
                 raise ValueError(f"message for {message.dst!r} delivered "
                                  f"to {self.shard!r}")
+            self.handed_count += 1
             sim.process(self._receive(message))
+
+    def flow_counts(self) -> Tuple[int, int, int, int]:
+        """``(sent, handed, fired, timeouts)`` for the watchdog."""
+        return (self.sent_count, self.handed_count, self.fired_count,
+                self.timeout_count)
 
     def _receive(self, message: ShardMessage):
         delay = message.deliver_ns - self.sim.now
@@ -272,6 +349,7 @@ class ShardChannel:
                 f"late delivery: {message} at {self.sim.now} "
                 "(sync window wider than the link latency?)")
         yield self.sim.timeout(delay, priority=URGENT)
+        self.fired_count += 1
         self.cluster.bump("xshard.delivered")
         if message.kind == "ack":
             self._on_ack(message)
@@ -329,3 +407,12 @@ class ShardRouter:
     @property
     def in_flight(self) -> bool:
         return bool(self._pending)
+
+    @property
+    def pending_count(self) -> int:
+        """Messages routed but not yet taken, total."""
+        return sum(len(msgs) for msgs in self._pending.values())
+
+    def pending_by_shard(self) -> Dict[str, int]:
+        """Per-destination pending counts (for wedge diagnostics)."""
+        return {shard: len(msgs) for shard, msgs in self._pending.items()}
