@@ -42,7 +42,7 @@ def report(results) -> str:
     totals = "\n".join(
         f"{mode}: aggregate SLO-goodput "
         f"{rep.total_slo_goodput_gbps:.1f} Gbps, worst p99 "
-        f"{fmt_ns(rep.worst_p99_ns)}, path-3 delivered "
+        f"{rep.worst_p99().fmt('ns', precision=0)}, path-3 delivered "
         f"{rep.path_gbps.get('snic-3-h2s', 0.0):.1f} Gbps"
         for mode, rep in results.items())
     return summary + "\n\n" + totals

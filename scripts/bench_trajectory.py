@@ -293,6 +293,55 @@ def shard_scaling_bench(duration_ns: float = SHARD_DURATION_NS,
     }
 
 
+#: Replicates and window length of the CI half-width record.  The
+#: duration is longer than the validate default so the window archive
+#: holds enough warm windows for a meaningful batch-means interval.
+STATS_CI_SEEDS = 3
+STATS_CI_DURATION_NS = 2_400_000.0
+
+
+def stats_ci_bench() -> dict:
+    """Cross-seed + within-run CI half-widths of the adaptive scenario.
+
+    Records, per tenant, the warm-up-truncated batch-means estimate of
+    windowed p99 and goodput (mean, CI half-width, warm window count)
+    plus the cross-seed half-width of the SLO-goodput headline.  The
+    point of keeping these in ``BENCH_sweep.json`` is trend tracking:
+    a half-width that suddenly grows means the simulator got noisier
+    (or a seed stopped being absorbed), which no mean-only record
+    would catch.  Zero cross-seed half-width is expected — the serving
+    families are seed-invariant (docs/validation.md).
+    """
+    from repro.stats.replicate import replicate
+
+    rep = replicate("adaptive", seeds=STATS_CI_SEEDS,
+                    duration_ns=STATS_CI_DURATION_NS)
+    tenants = {}
+    for name in rep.tenant_names():
+        p99 = rep.within_run(name, field="p99_ns")
+        goodput = rep.within_run(name, field="goodput_gbps")
+        tenants[name] = {
+            "p99_ns": {"mean": round(p99.mean, 1),
+                       "half_width": round(p99.half_width, 1),
+                       "windows": p99.n},
+            "goodput_gbps": {"mean": round(goodput.mean, 4),
+                             "half_width": round(goodput.half_width, 4),
+                             "windows": goodput.n},
+        }
+    total = rep.total_slo_goodput()
+    return {
+        "family": "adaptive",
+        "seeds": STATS_CI_SEEDS,
+        "duration_ns": STATS_CI_DURATION_NS,
+        "confidence": 0.95,
+        "tenants": tenants,
+        "slo_goodput_gbps": {
+            "mean": round(total.mean, 4),
+            "cross_seed_half_width": round(total.half_width, 4),
+        },
+    }
+
+
 def time_suite() -> float:
     """Wall-clock of the full pytest-benchmark suite, seconds."""
     env = dict(os.environ)
@@ -468,6 +517,10 @@ def main(argv=None) -> int:
         # Multiprocess lockstep scaling with cross-shard bulk traffic
         # (jobs=1 in-process reference; bit-identity always enforced).
         "shard_scaling": shard_scaling_bench(),
+        # Confidence-interval half-widths of the headline serving
+        # metrics (repro.stats batch-means over the window archive);
+        # tracked so noise growth shows up in the artifact diff.
+        "stats_ci": stats_ci_bench(),
     }
 
     if not args.no_suite:

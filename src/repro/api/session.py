@@ -168,6 +168,26 @@ class Session:
             kwargs["engine"] = "hybrid"
         return run_serve(tenants, testbed=self.testbed, **kwargs)
 
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, families: Optional[Sequence[str]] = None,
+                 seeds: int = 3, **kwargs):
+        """Run the statistical verification suite (``repro validate``).
+
+        Replicates the scenario families across ``seeds``, audits every
+        replicate against the invariant catalog (flow conservation,
+        Little's law, utilization bounds), grades DES-vs-hybrid engine
+        agreement by CI overlap, and re-derives the Fig-4/9/11 numbers
+        with confidence intervals.  Returns a
+        :class:`~repro.stats.validate.VerificationReport`; see
+        docs/validation.md for how to read it.  Accepts every
+        :func:`~repro.stats.validate.run_validation` keyword
+        (``duration_ns=``, ``jobs=``, ``confidence=`` ...).
+        """
+        from repro.stats.validate import run_validation
+
+        return run_validation(families=families, seeds=seeds, **kwargs)
+
     def serve_sharded(self, plan, **kwargs):
         """Run a multi-machine shard plan through the lockstep executor.
 

@@ -25,6 +25,11 @@ Commands:
   ``cluster-fault`` determinism family: sharded chaos runs must be
   bit-identical across executors and through worker kill/respawn
   (docs/robustness.md).
+* ``validate`` — the statistical verification report: scenario
+  families replicated across seeds, invariant checks (flow
+  conservation, Little's law, utilization bounds), CI-overlap engine
+  agreement, and the Fig-4/9/11 reproductions quoted as mean ± CI
+  (``--out verification_report.md``; see docs/validation.md).
 
 ``compare`` accepts ``--nic`` to pick a catalog device
 (bluefield-2 default, bluefield-3, stingray-ps225).
@@ -268,6 +273,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         "cluster-fault)")
     p.add_argument("--json", action="store_true",
                    help="emit the graded results as JSON instead of a table")
+
+    p = sub.add_parser("validate",
+                       help="statistical verification report: replicated "
+                            "scenarios, invariants, CIs, figure gates")
+    p.add_argument("--families", action="append", metavar="NAME",
+                   default=None,
+                   help="validate only this family (repeatable; 'all' or "
+                        "default: every serving + figure family; "
+                        "'broken-counter' — the injected violation — "
+                        "only runs when named explicitly)")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="replicates per serving family (default 3)")
+    p.add_argument("--duration", type=float, default=400_000.0,
+                   help="serving arrival-window length in ns "
+                        "(default 400 us)")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes for replication (default: "
+                        "serial)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the report as markdown to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of a table")
+    p.add_argument("--check", action="store_true",
+                   help="fail (exit 1) unless every row is PASS")
     return parser
 
 
@@ -771,6 +800,26 @@ def _cmd_crosscheck(args) -> str:
     return table
 
 
+def _cmd_validate(args) -> str:
+    from repro.stats.validate import run_validation
+
+    report = run_validation(families=args.families, seeds=args.seeds,
+                            duration_ns=args.duration, jobs=args.jobs)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_markdown())
+    output = report.to_json() if args.json else report.table()
+    if not report.ok:
+        details = "; ".join(f"{row.family}/{row.check}: {row.detail}"
+                            for row in report.failures())
+        print(output)
+        raise ValueError(f"validation failed — {details}")
+    if args.check and not report.rows:
+        raise ValueError("validation ran no checks — empty family "
+                         "selection cannot gate CI")
+    return output
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -787,6 +836,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace-solve": _cmd_trace_solve,
         "serve": _cmd_serve,
         "crosscheck": _cmd_crosscheck,
+        "validate": _cmd_validate,
     }
     try:
         print(handlers[args.command](args))

@@ -25,6 +25,7 @@ from repro.core.throughput import Flow, Scenario, SolverResult, ThroughputSolver
 from repro.net.topology import Testbed
 from repro.nic.core import Endpoint
 from repro.sim import Simulator
+from repro.stats.kernels import Estimate, mean_estimate
 from repro.units import GB, fmt_size, to_gbps
 
 
@@ -128,6 +129,27 @@ class LatencyBench:
         sim.run()
         assert done.processed
         return sim.now
+
+    def dma_model_agreement(self, path: CommPath, op: Opcode,
+                            payloads: Sequence[int],
+                            confidence: float = 0.95) -> Estimate:
+        """DES-vs-model DMA disagreement across payloads, as mean ± CI.
+
+        For each payload the DES replays the responder's DMA on the
+        instantiated fabric (:meth:`simulate_dma_latency`) and is
+        compared against the closed-form model's ``responder_dma``
+        segment.  Both are deterministic per point, so the statistical
+        statement is across the payload grid: the mean relative error
+        with a Student-t interval — what ``repro validate`` gates the
+        Fig-4 cross-check on, instead of a single-payload point.
+        """
+        errors = []
+        for payload in payloads:
+            des_ns = self.simulate_dma_latency(path, op, payload)
+            breakdown = self.model.latency(path, op, payload, 10 * GB)
+            model_ns = breakdown.as_dict().get("responder_dma", 0.0)
+            errors.append(abs(des_ns - model_ns) / max(model_ns, 1e-9))
+        return mean_estimate(errors, confidence=confidence)
 
 
 class ThroughputBench:

@@ -19,6 +19,7 @@ Two modes:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,7 +32,8 @@ from repro.rdma.verbs import RdmaContext
 from repro.sched.policy import Decision, PathPolicy, Placement, _RESPONDER
 from repro.sched.runtime import ServingRuntime
 from repro.sched.scheduler import PathScheduler
-from repro.sched.slo import SloTracker
+from repro.sched.slo import RawWindow, SloTracker
+from repro.stats.kernels import Estimate, batch_means
 from repro.sched.tenant import SloSpec, TenantSpec
 from repro.telemetry import Telemetry
 from repro.trace.tracer import Tracer
@@ -70,10 +72,47 @@ class ServeReport:
     tracer: Optional[Tracer] = None
     engine: str = "event"
     hybrid_stats: Optional[Dict[str, int]] = None
+    #: Fixed-window archive per tenant (raw material for batch-means
+    #: estimates; see :meth:`repro.sched.slo.SloTracker.window_series`).
+    windows: Dict[str, Tuple[RawWindow, ...]] = field(default_factory=dict)
+    #: Final conservation terms per tenant:
+    #: ``(arrivals, completed, rejected, lost, in_flight)``.
+    conservation: Dict[str, Tuple[int, int, int, int, int]] = field(
+        default_factory=dict)
 
     @property
     def worst_p99_ns(self) -> float:
+        """Deprecated bare point estimate — use :meth:`worst_p99`.
+
+        The windowed archive lets the report quote the worst tenant's
+        p99 as a mean ± CI over warm windows instead of a single order
+        statistic; this property remains for callers that predate the
+        stats layer.
+        """
+        warnings.warn(
+            "ServeReport.worst_p99_ns is a single-run point estimate; "
+            "use ServeReport.worst_p99() for a mean ± CI Estimate",
+            DeprecationWarning, stacklevel=2)
         return max((t.p99_ns for t in self.tenants.values()), default=0.0)
+
+    def p99(self, tenant: str, confidence: float = 0.95) -> Estimate:
+        """Batch-means estimate of the tenant's per-window p99 (ns)."""
+        series = [w.p99_ns for w in self.windows.get(tenant, ())
+                  if w.count > 0]
+        if not series:
+            return Estimate(mean=self.tenants[tenant].p99_ns,
+                            half_width=float("inf"), n=1,
+                            confidence=confidence)
+        return batch_means(series, confidence=confidence)
+
+    def worst_p99(self, confidence: float = 0.95) -> Estimate:
+        """The worst tenant's p99 as a mean ± CI over warm windows."""
+        if not self.tenants:
+            return Estimate(mean=0.0, half_width=0.0, n=0,
+                            confidence=confidence)
+        estimates = [self.p99(name, confidence=confidence)
+                     for name in self.tenants]
+        return max(estimates, key=lambda e: e.mean)
 
     @property
     def total_slo_goodput_gbps(self) -> float:
@@ -300,6 +339,9 @@ class ServeSession:
             engine=self.engine,
             hybrid_stats=(self.controller.stats()
                           if self.controller is not None else None),
+            windows={t.name: self.tracker.window_series(t.name)
+                     for t in self.tenants},
+            conservation=self.heartbeat()["tenants"],
         )
 
 

@@ -36,6 +36,66 @@ class WindowStats:
         return self.count == 0 and self.rejected == 0
 
 
+@dataclass(frozen=True)
+class RawWindow:
+    """One fixed (tumbling) window's raw material, kept for statistics.
+
+    Unlike :class:`WindowStats` — a *rolling* view pruned as the
+    scheduler ticks — these windows are archived for the whole run so
+    the :mod:`repro.stats` layer can form warm-up-truncated batch-means
+    estimates post hoc without re-running.  Counts and sums are carried
+    alongside the quantile points: ``latency_sum_ns`` is what Little's
+    law consumes (time-average occupancy ``L = Σ latency / elapsed``),
+    ``good_bytes`` is what goodput CIs are built from.
+    """
+
+    tenant: str
+    index: int              # window number: int(end_ns // window_ns)
+    end_ns: float           # exclusive right edge of the window
+    count: int              # ok completions landing in the window
+    latency_sum_ns: float
+    p50_ns: float
+    p99_ns: float
+    good_bytes: int         # payload bytes delivered within deadline
+    goodput_gbps: float
+    rejected: int
+    lost: int
+    violations: int
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.latency_sum_ns / self.count if self.count else 0.0
+
+
+class _WindowAccum:
+    """Mutable per-window accumulator behind the fixed-window archive."""
+
+    __slots__ = ("latencies", "good_bytes", "rejected", "lost", "violations")
+
+    def __init__(self):
+        self.latencies: list = []
+        self.good_bytes = 0
+        self.rejected = 0
+        self.lost = 0
+        self.violations = 0
+
+    def copy(self) -> "_WindowAccum":
+        other = _WindowAccum()
+        other.latencies = list(self.latencies)
+        other.good_bytes = self.good_bytes
+        other.rejected = self.rejected
+        other.lost = self.lost
+        other.violations = self.violations
+        return other
+
+    def fold(self, other: "_WindowAccum") -> None:
+        self.latencies.extend(other.latencies)
+        self.good_bytes += other.good_bytes
+        self.rejected += other.rejected
+        self.lost += other.lost
+        self.violations += other.violations
+
+
 class SloTracker:
     """Rolling per-tenant completion windows, pruned by simulated time."""
 
@@ -53,20 +113,41 @@ class SloTracker:
         self.completed: Dict[str, int] = {t.name: 0 for t in tenants}
         self.rejected: Dict[str, int] = {t.name: 0 for t in tenants}
         self.lost: Dict[str, int] = {t.name: 0 for t in tenants}
+        # Fixed-window archive for the stats layer: per tenant, per
+        # window index, the accumulated raw material (never pruned).
+        self._archive: Dict[str, Dict[int, _WindowAccum]] = {
+            t.name: {} for t in tenants}
+
+    def _accum(self, tenant: str, when: float) -> "_WindowAccum":
+        idx = int(when // self.window_ns)
+        per_tenant = self._archive[tenant]
+        acc = per_tenant.get(idx)
+        if acc is None:
+            acc = per_tenant[idx] = _WindowAccum()
+        return acc
 
     def observe(self, record: CompletionRecord, payload: int) -> None:
         """Feed one completion from the runtime."""
         events = self._events[record.tenant]
         events.append((record.end_ns, record.latency_ns, payload, record.ok))
+        acc = self._accum(record.tenant, record.end_ns)
         if record.ok:
             self.completed[record.tenant] += 1
+            deadline = self._specs[record.tenant].slo.deadline
+            acc.latencies.append(record.latency_ns)
+            if record.latency_ns <= deadline:
+                acc.good_bytes += payload
+            else:
+                acc.violations += 1
         else:
             self.lost[record.tenant] += 1
+            acc.lost += 1
 
     def observe_reject(self, tenant: str, now: float) -> None:
         """Feed one bounced arrival (queue full)."""
         self._rejects[tenant].append(now)
         self.rejected[tenant] += 1
+        self._accum(tenant, now).rejected += 1
 
     def merge(self, other: "SloTracker") -> "SloTracker":
         """Fold another tracker's observations into this one, in place.
@@ -90,6 +171,9 @@ class SloTracker:
                 self.completed[name] = other.completed[name]
                 self.rejected[name] = other.rejected[name]
                 self.lost[name] = other.lost[name]
+                self._archive[name] = {
+                    idx: acc.copy()
+                    for idx, acc in other._archive[name].items()}
                 continue
             self._events[name] = deque(heapq.merge(
                 self._events[name], other._events[name],
@@ -99,7 +183,47 @@ class SloTracker:
             self.completed[name] += other.completed[name]
             self.rejected[name] += other.rejected[name]
             self.lost[name] += other.lost[name]
+            mine = self._archive[name]
+            for idx, acc in other._archive[name].items():
+                if idx in mine:
+                    mine[idx].fold(acc)
+                else:
+                    mine[idx] = acc.copy()
         return self
+
+    def window_series(self, tenant: str) -> Tuple[RawWindow, ...]:
+        """Every archived fixed window for ``tenant``, oldest first.
+
+        Quantiles use the same order-statistic convention as
+        :meth:`window`, so a single-window series reconciles with the
+        rolling view.  The export is deterministic: latencies are
+        sorted within each window, windows ordered by index.
+        """
+        out = []
+        for idx in sorted(self._archive[tenant]):
+            acc = self._archive[tenant][idx]
+            latencies = sorted(acc.latencies)
+            n = len(latencies)
+            if latencies:
+                p50 = latencies[max(0, int(0.50 * n) - 1) if n > 1 else 0]
+                p99 = latencies[min(n - 1, max(0, int(0.99 * n)))]
+            else:
+                p50 = p99 = 0.0
+            out.append(RawWindow(
+                tenant=tenant,
+                index=idx,
+                end_ns=(idx + 1) * self.window_ns,
+                count=n,
+                latency_sum_ns=sum(latencies),
+                p50_ns=p50,
+                p99_ns=p99,
+                good_bytes=acc.good_bytes,
+                goodput_gbps=to_gbps(acc.good_bytes / self.window_ns),
+                rejected=acc.rejected,
+                lost=acc.lost,
+                violations=acc.violations,
+            ))
+        return tuple(out)
 
     def window(self, tenant: str, now: float) -> WindowStats:
         """The tenant's stats over ``[now - window, now]``."""

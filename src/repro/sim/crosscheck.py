@@ -171,6 +171,68 @@ def crosscheck(scenario: str, factory: Callable[[], Sequence],
     )
 
 
+# -- CI-overlap agreement (the statistical upgrade of the tolerance gates) ---------
+
+
+@dataclass(frozen=True)
+class AgreementRow:
+    """One engine-agreement clause graded by confidence-interval overlap."""
+
+    tenant: str
+    metric: str
+    des: "Estimate"
+    hybrid: "Estimate"
+    ok: bool
+    detail: str
+
+
+def ci_agreement(des: ServeReport, hybrid: ServeReport,
+                 config: Optional[HybridConfig] = None,
+                 confidence: float = 0.95) -> Tuple[AgreementRow, ...]:
+    """Grade DES-vs-hybrid agreement with CI-overlap gates.
+
+    The original :func:`crosscheck` grades point estimates against
+    point tolerances.  This is the statistical version ``repro
+    validate`` uses: each per-tenant metric becomes a warm-up-truncated
+    batch-means :class:`~repro.stats.kernels.Estimate` over the run's
+    fixed-window archive, and two engines *agree* when the intervals
+    overlap (falling back to the :class:`HybridConfig` relative
+    tolerance for degenerate zero-width intervals).  Completion /
+    rejection / loss counts stay exact — no interval excuses a count.
+    """
+    from repro.stats.kernels import Estimate, agreement
+    from repro.stats.replicate import report_estimate
+
+    config = config or HybridConfig()
+    rows = []
+    for name in sorted(des.tenants):
+        want, got = des.tenants[name], hybrid.tenants[name]
+        counts_ok = ((want.completed, want.rejected, want.lost)
+                     == (got.completed, got.rejected, got.lost))
+        rows.append(AgreementRow(
+            tenant=name, metric="counts",
+            des=Estimate(mean=float(want.completed), half_width=0.0, n=1),
+            hybrid=Estimate(mean=float(got.completed), half_width=0.0, n=1),
+            ok=counts_ok,
+            detail=(f"completed/rejected/lost exact: "
+                    f"{want.completed}/{want.rejected}/{want.lost}"
+                    if counts_ok else
+                    f"counts differ: {want.completed}/{want.rejected}/"
+                    f"{want.lost} vs {got.completed}/{got.rejected}/"
+                    f"{got.lost}")))
+        for metric, tol in (("p50_ns", config.latency_tol),
+                            ("p99_ns", config.latency_tol),
+                            ("goodput_gbps", config.goodput_tol)):
+            a = report_estimate(des, name, field=metric,
+                                confidence=confidence)
+            b = report_estimate(hybrid, name, field=metric,
+                                confidence=confidence)
+            ok, detail = agreement(a, b, tolerance=tol)
+            rows.append(AgreementRow(tenant=name, metric=metric,
+                                     des=a, hybrid=b, ok=ok, detail=detail))
+    return tuple(rows)
+
+
 # -- the standard scenario families ------------------------------------------------
 
 

@@ -680,6 +680,13 @@ def merge_reports(reports: Sequence[ServeReport],
         for report in reports:
             for key, value in (report.hybrid_stats or {}).items():
                 hybrid_stats[key] = hybrid_stats.get(key, 0) + value
+    # Tenants are disjoint across shards, so the per-tenant window
+    # archives and conservation terms merge by plain union.
+    windows: Dict[str, tuple] = {}
+    conservation: Dict[str, tuple] = {}
+    for report in reports:
+        windows.update(report.windows)
+        conservation.update(report.conservation)
     return ServeReport(
         adaptive=all(report.adaptive for report in reports),
         elapsed_ns=max(report.elapsed_ns for report in reports),
@@ -689,6 +696,8 @@ def merge_reports(reports: Sequence[ServeReport],
         counters=counters,
         engine=reports[0].engine,
         hybrid_stats=hybrid_stats,
+        windows=windows,
+        conservation=conservation,
     )
 
 

@@ -1,0 +1,94 @@
+"""Warm-up (initialization-transient) detection for serving series.
+
+The serving simulations start cold: queues empty, adaptive placement
+undecided, hybrid engine still in its guard phase.  Averaging those
+early windows into a steady-state estimate biases it, so every series
+the validation layer consumes is first truncated with MSER (Minimum
+Standard Error Rule) on fixed-size batches — MSER-5 by default, the
+variant the simulation-methodology literature recommends for
+automated pipelines (White & Spratt; Law, *Simulation Modeling and
+Analysis*).
+
+MSER picks the truncation point ``d`` minimizing the standard error of
+the remaining data, ``sum((y_i - mean_d)^2) / (n - d)^2`` over the
+suffix ``y_d..y_{n-1}``.  The cut is capped at ``max_fraction`` of the
+series so a drifting series can never be truncated to nothing; ties
+keep the smallest ``d`` (discard the least data).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = ["WarmupResult", "apply_warmup", "mser_truncation"]
+
+
+@dataclass(frozen=True)
+class WarmupResult:
+    """Outcome of transient detection on one series."""
+
+    truncate: int          # raw observations to drop from the front
+    total: int             # raw series length
+    batch: int             # MSER batch size used
+    stat: float            # the minimized MSER statistic
+    capped: bool           # True when the cap bound the choice
+
+    @property
+    def fraction(self) -> float:
+        return self.truncate / self.total if self.total else 0.0
+
+
+def mser_truncation(series: Sequence[float], batch: int = 5,
+                    max_fraction: float = 0.5) -> WarmupResult:
+    """MSER-``batch`` truncation point for ``series``.
+
+    Returns the number of *raw* observations to drop from the front
+    (always a multiple of ``batch``, always ``<= max_fraction *
+    len(series)``).  Series too short to batch are returned untouched.
+    """
+    if batch < 1:
+        raise ValueError(f"batch size must be >= 1: {batch}")
+    if not 0.0 <= max_fraction < 1.0:
+        raise ValueError(f"max_fraction must be in [0, 1): {max_fraction}")
+    values = list(series)
+    n = len(values)
+    k = n // batch
+    if k < 2:
+        return WarmupResult(truncate=0, total=n, batch=batch,
+                            stat=float("nan"), capped=False)
+    means = [math.fsum(values[i * batch:(i + 1) * batch]) / batch
+             for i in range(k)]
+    # Largest candidate cut (in batches) the cap allows, and never the
+    # whole series: at least one batch must survive.
+    d_cap = min(int(max_fraction * n) // batch, k - 1)
+    best_d, best_stat = 0, float("inf")
+    capped = False
+    # Suffix sums from the back so each candidate is O(1).
+    suf = suf_sq = 0.0
+    stats = [0.0] * k
+    for i in range(k - 1, -1, -1):
+        suf += means[i]
+        suf_sq += means[i] * means[i]
+        remaining = k - i
+        mean_d = suf / remaining
+        stats[i] = max(suf_sq - remaining * mean_d * mean_d, 0.0) / (remaining * remaining)
+    for d in range(0, d_cap + 1):
+        if stats[d] < best_stat - 1e-18:
+            best_d, best_stat = d, stats[d]
+    # Did the cap hide a better cut past it?
+    if d_cap < k - 1:
+        tail_best = min(stats[d_cap + 1:k - 1] or [float("inf")])
+        capped = tail_best < best_stat - 1e-18
+    return WarmupResult(truncate=best_d * batch, total=n, batch=batch,
+                        stat=best_stat, capped=capped)
+
+
+def apply_warmup(series: Sequence[float], batch: int = 5,
+                 max_fraction: float = 0.5,
+                 ) -> Tuple[list, WarmupResult]:
+    """Truncate the detected transient; returns ``(warm, result)``."""
+    result = mser_truncation(series, batch=batch, max_fraction=max_fraction)
+    values = list(series)
+    return values[result.truncate:], result

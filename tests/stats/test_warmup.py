@@ -1,0 +1,73 @@
+"""MSER warm-up truncation: the rules it must never break.
+
+Whatever the input series, the cut is a multiple of the batch size,
+never exceeds the configured fraction, and never consumes the whole
+series; a cold-start transient is detected and removed, a stationary
+series is left alone.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.warmup import apply_warmup, mser_truncation
+
+_series = st.lists(st.floats(min_value=0.0, max_value=1e6,
+                             allow_nan=False), min_size=0, max_size=120)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_series, st.integers(min_value=1, max_value=10),
+       st.floats(min_value=0.0, max_value=0.9))
+def test_truncation_respects_the_cap(series, batch, max_fraction):
+    result = mser_truncation(series, batch=batch,
+                             max_fraction=max_fraction)
+    assert result.truncate % batch == 0
+    assert result.truncate <= max_fraction * len(series) + 1e-9
+    assert result.truncate < max(len(series), 1)   # never everything
+    warm, res2 = apply_warmup(series, batch=batch,
+                              max_fraction=max_fraction)
+    assert res2.truncate == result.truncate
+    assert len(warm) == len(series) - result.truncate
+    if series:
+        assert warm        # at least one observation always survives
+
+
+def test_step_transient_is_removed():
+    # Ten cold windows at 100, forty steady windows at ~1.
+    series = [100.0] * 10 + [1.0, 1.1, 0.9, 1.0] * 10
+    warm, result = apply_warmup(series, batch=5)
+    assert result.truncate >= 10
+    assert max(warm) < 2.0
+    assert result.fraction <= 0.5
+
+
+def test_stationary_series_is_untouched():
+    series = [5.0, 5.1, 4.9, 5.0] * 10
+    result = mser_truncation(series, batch=5)
+    assert result.truncate == 0
+
+
+def test_constant_series_is_untouched():
+    result = mser_truncation([3.0] * 50, batch=5)
+    assert result.truncate == 0 and result.stat == 0.0
+
+
+def test_short_series_returned_whole():
+    result = mser_truncation([1.0, 2.0, 3.0], batch=5)
+    assert result.truncate == 0 and result.total == 3
+
+
+def test_cap_is_reported_when_it_binds():
+    # The transient stretches past the allowed fraction: MSER would cut
+    # deeper but the cap holds it, and says so.
+    series = [100.0] * 30 + [1.0] * 10
+    result = mser_truncation(series, batch=5, max_fraction=0.25)
+    assert result.truncate <= 10
+    assert result.capped
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        mser_truncation([1.0], batch=0)
+    with pytest.raises(ValueError):
+        mser_truncation([1.0], max_fraction=1.0)
