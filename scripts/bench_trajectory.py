@@ -4,6 +4,7 @@
 Runs a fixed smoke workload — representative Fig 4 / Fig 8 sweeps cold
 and warm, a DES hot-loop microbench, the serving-engine comparison
 (pure DES vs the analytic/DES hybrid on the same adaptive scenario),
+the canonical declarative rack at growing machine counts,
 and (optionally) the full pytest-benchmark suite — and writes
 ``BENCH_sweep.json``: wall-clock, DES events/sec, the hybrid speedup,
 and cache hit rates, next to the recorded seed baseline.  Intended to
@@ -293,6 +294,54 @@ def shard_scaling_bench(duration_ns: float = SHARD_DURATION_NS,
     }
 
 
+#: Machine counts for the rack-scaling record.  6 is the floor the
+#: canonical population fits under the 20-clients-per-machine cap;
+#: 12 is the rack as ``examples/rack_scenario.json`` describes it.
+CLUSTER_MACHINES = (6, 12)
+
+
+def cluster_scaling_bench(machines: tuple = CLUSTER_MACHINES) -> dict:
+    """Wall-clock and headline metrics of the canonical rack scenario.
+
+    Runs ``examples/rack_scenario.json`` (112 population tenants,
+    ~1.09M simulated users) at each machine count, and re-runs the
+    smallest rack at ``jobs=2`` to record that the declarative cluster
+    path keeps the lockstep bit-identity contract end to end
+    (placement, LB ingress, cluster scheduler and all).
+    """
+    from repro.cluster import run_cluster
+
+    doc = os.path.join(REPO_ROOT, "examples", "rack_scenario.json")
+
+    def digest(report):
+        return (sorted((t.name, t.completed, t.rejected, t.lost)
+                       for t in report.tenants.values()),
+                [d.as_tuple() for d in report.cluster_decisions])
+
+    racks = {}
+    reference = None
+    for count in machines:
+        start = time.perf_counter()
+        report = run_cluster(doc, jobs=1, machines=count)
+        wall = time.perf_counter() - start
+        if count == min(machines):
+            reference = report
+        racks[str(count)] = {
+            "wall_s": round(wall, 4),
+            "tenants": len(report.tenants),
+            "users": report.total_users,
+            "slo_goodput_gbps": round(report.total_slo_goodput_gbps, 2),
+            "slo_attainment": round(report.slo_attainment, 4),
+            "cluster_moves": len(report.cluster_decisions),
+        }
+    many = run_cluster(doc, jobs=2, machines=min(machines))
+    return {
+        "scenario": "examples/rack_scenario.json",
+        "machines": racks,
+        "jobs2_bit_identical": digest(many) == digest(reference),
+    }
+
+
 #: Replicates and window length of the CI half-width record.  The
 #: duration is longer than the validate default so the window archive
 #: holds enough warm windows for a meaningful batch-means interval.
@@ -517,6 +566,9 @@ def main(argv=None) -> int:
         # Multiprocess lockstep scaling with cross-shard bulk traffic
         # (jobs=1 in-process reference; bit-identity always enforced).
         "shard_scaling": shard_scaling_bench(),
+        # The canonical declarative rack (112 tenants, ~1.09M users)
+        # at growing machine counts, with the jobs=2 identity check.
+        "cluster_scaling": cluster_scaling_bench(),
         # Confidence-interval half-widths of the headline serving
         # metrics (repro.stats batch-means over the window archive);
         # tracked so noise growth shows up in the artifact diff.

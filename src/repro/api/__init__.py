@@ -24,7 +24,9 @@ Usage::
     report = session.serve(mixed_tenant_workload())
 """
 
+from repro.api.schema import ClusterScenario, MachineDoc, SchedulerDoc, TenantDoc
 from repro.api.session import Session
 from repro.core.options import RunOptions
 
-__all__ = ["RunOptions", "Session"]
+__all__ = ["ClusterScenario", "MachineDoc", "RunOptions", "SchedulerDoc",
+           "Session", "TenantDoc"]

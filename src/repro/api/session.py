@@ -9,6 +9,7 @@ string spellings (``"snic-1"``, ``"1"``, ``"read"``).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Sequence, Union
 
 from repro.core.advisor import Advisor, OffloadPlan, WorkloadProfile
@@ -27,6 +28,11 @@ _PATHS: Dict[str, CommPath] = {p.value: p for p in CommPath}
 _PATHS.update({p.name.lower(): p for p in CommPath})
 _PATHS.update({"1": CommPath.SNIC1, "2": CommPath.SNIC2,
                "3": CommPath.SNIC3_H2S})
+
+#: One-shot latch for the serve_sharded deprecation (module-level, so
+#: it fires once per process, not once per Session — mirroring the
+#: import-time shim in repro.core.bench).
+_SERVE_SHARDED_WARNED = False
 
 
 def _coerce_path(path: PathLike) -> CommPath:
@@ -188,21 +194,56 @@ class Session:
 
         return run_validation(families=families, seeds=seeds, **kwargs)
 
-    def serve_sharded(self, plan, **kwargs):
-        """Run a multi-machine shard plan through the lockstep executor.
+    def serve_cluster(self, scenario, **kwargs):
+        """Run a declarative rack-scale cluster scenario.
 
-        Accepts every :func:`repro.sim.shard.run_sharded` keyword
-        (``jobs=``, ``sync_window_ns=``, ``supervisor=`` plus the
-        per-shard serve kwargs) and returns the merged
-        :class:`~repro.sched.ServeReport`.  The plan's
-        ``cluster_faults`` arm rack-scale chaos — machine crashes and
-        fabric loss/partition/delay/reorder — and ``supervisor=``
-        (a :class:`~repro.sim.supervise.SupervisorConfig`) controls
-        worker respawn, window checkpoints and chaos kills
-        (docs/robustness.md).
+        ``scenario`` is a :class:`~repro.api.schema.ClusterScenario`
+        or a path to its JSON document
+        (``examples/rack_scenario.json`` is the canonical one; the CLI
+        spelling is ``repro serve --cluster <doc.json>``).  Accepts
+        every :func:`repro.cluster.run_cluster` keyword (``jobs=``,
+        ``machines=``, ``population_seed=``, ``placement=``,
+        ``migrate=``, ``supervisor=``) and returns a
+        :class:`~repro.cluster.ClusterReport`.  The session's
+        :class:`~repro.core.options.RunOptions` supply defaults for
+        ``machines``/``population_seed``/``jobs``/``engine`` when not
+        passed explicitly (docs/cluster.md).
+        """
+        from repro.cluster import run_cluster
+
+        if "engine" not in kwargs and self.options.engine == "hybrid":
+            kwargs["engine"] = "hybrid"
+        if "machines" not in kwargs and self.options.machines:
+            kwargs["machines"] = self.options.machines
+        if ("population_seed" not in kwargs
+                and self.options.population_seed is not None):
+            kwargs["population_seed"] = self.options.population_seed
+        if "jobs" not in kwargs and self.options.jobs:
+            kwargs["jobs"] = self.options.jobs
+        return run_cluster(scenario, testbed=self.testbed, **kwargs)
+
+    def serve_sharded(self, plan, **kwargs):
+        """Deprecated: run a raw shard plan (use :meth:`serve_cluster`).
+
+        Hand-built :class:`~repro.sim.shard.ShardPlan` execution
+        predates the declarative cluster API; scenarios expressed as
+        documents get placement, the LB tier, population traffic and
+        cluster scheduling on top of the same lockstep executor.  This
+        method remains a thin alias of
+        :func:`repro.sim.shard.run_sharded` for plans that need exact
+        shard control; it warns once per process.
         """
         from repro.sim.shard import run_sharded
 
+        global _SERVE_SHARDED_WARNED
+        if not _SERVE_SHARDED_WARNED:
+            _SERVE_SHARDED_WARNED = True
+            warnings.warn(
+                "Session.serve_sharded is deprecated; describe the rack "
+                "as a ClusterScenario and call Session.serve_cluster "
+                "(raw ShardPlans can still run via "
+                "repro.sim.shard.run_sharded)",
+                DeprecationWarning, stacklevel=2)
         if "engine" not in kwargs and self.options.engine == "hybrid":
             kwargs["engine"] = "hybrid"
         return run_sharded(plan, testbed=self.testbed, **kwargs)

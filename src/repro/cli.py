@@ -206,6 +206,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve",
                        help="online path scheduling of tenant streams (DES)")
+    p.add_argument("--cluster", metavar="FILE", default=None,
+                   help="run a declarative rack-scale cluster scenario "
+                        "(JSON ClusterScenario document, e.g. "
+                        "examples/rack_scenario.json; docs/cluster.md)")
+    p.add_argument("--machines", type=int, default=None,
+                   help="with --cluster: override the document's machine "
+                        "count (the SNIC/RNIC mix is cycled)")
+    p.add_argument("--population-seed", type=int, default=None,
+                   help="with --cluster: resample the user population "
+                        "under this seed")
+    p.add_argument("--placement", choices=["binpack", "round-robin"],
+                   default=None,
+                   help="with --cluster: override the document's tenant "
+                        "placement policy")
+    p.add_argument("--no-migrate", action="store_true",
+                   help="with --cluster: disable the cluster scheduler's "
+                        "SLO/crash migrations (static placement only)")
+    p.add_argument("--check", action="store_true",
+                   help="with --cluster: audit the finished run against "
+                        "the invariant catalog (flow conservation, "
+                        "cluster-flow, Little's law, capacity bounds) "
+                        "and exit non-zero on any violation")
     p.add_argument("--duration", type=float, default=1_500_000.0,
                    help="arrival-window length in ns (default 1.5 ms)")
     p.add_argument("--seed", type=int, default=0,
@@ -625,11 +647,77 @@ def _cmd_trace_solve(args) -> str:
                         title=f"{len(trace)} traced requests, aggregated")
 
 
+def _cmd_serve_cluster(args) -> str:
+    from repro.cluster import run_cluster
+    from repro.units import fmt_ns
+
+    report = run_cluster(args.cluster, jobs=args.jobs,
+                         machines=args.machines,
+                         population_seed=args.population_seed,
+                         placement=args.placement,
+                         migrate=False if args.no_migrate else None,
+                         engine=(args.engine if args.engine != "event"
+                                 else None))
+    parts = [report.summary()]
+    sched = {key: value for key, value in sorted(report.counters.items())
+             if key.startswith("clustersched.")}
+    if sched:
+        parts.append(
+            "cluster scheduler: "
+            f"{sched.get('clustersched.offloads', 0):.0f} offloads, "
+            f"{sched.get('clustersched.retargets', 0):.0f} retargets, "
+            f"{sched.get('clustersched.returns', 0):.0f} returns, "
+            f"{sched.get('clustersched.machine_down', 0):.0f} machine "
+            "crashes seen")
+    if args.decisions and report.cluster_decisions:
+        lines = ["cluster decisions"]
+        for d in report.cluster_decisions:
+            target = f" -> {d.target}" if d.target else ""
+            lines.append(f"  {fmt_ns(d.time_ns):>9}  {d.kind:<12} "
+                         f"{d.tenant or d.machine:<10}{target}  "
+                         f"[{d.reason}]")
+        parts.append("\n".join(lines))
+    if args.check:
+        from repro.stats.invariants import check_report, violations
+
+        results = check_report(report)
+        failed = violations(results)
+        checked = sorted({r.name for r in results})
+        parts.append(f"invariants: {len(results)} checks over "
+                     f"{', '.join(checked)} — "
+                     f"{'all ok' if not failed else 'VIOLATIONS'}")
+        if failed:
+            parts.extend(str(r) for r in failed)
+            raise SystemExit("\n\n".join(parts))
+    if args.json:
+        rows = [vars(t) for t in report.tenants.values()]
+        return json.dumps({"scenario": report.scenario,
+                           "elapsed_ns": report.elapsed_ns,
+                           "total_users": report.total_users,
+                           "machines": [m.to_dict() for m in report.machines],
+                           "placement": report.placement,
+                           "slo_attainment": report.slo_attainment,
+                           "total_slo_goodput_gbps":
+                               report.total_slo_goodput_gbps,
+                           "cluster_decisions":
+                               [d.as_tuple() for d in report.cluster_decisions],
+                           "tenants": rows}, indent=2)
+    return "\n\n".join(parts)
+
+
 def _cmd_serve(args) -> str:
     from repro.faults import FaultPlan
     from repro.sched import mixed_tenant_workload, run_serve
     from repro.units import fmt_ns
 
+    if args.cluster is not None:
+        return _cmd_serve_cluster(args)
+    for flag in ("machines", "population_seed", "placement"):
+        if getattr(args, flag) is not None:
+            raise ValueError(
+                f"--{flag.replace('_', '-')} needs --cluster")
+    if args.no_migrate or args.check:
+        raise ValueError("--no-migrate/--check need --cluster")
     plan = (FaultPlan.from_file(args.fault_plan)
             if args.fault_plan is not None else None)
     tenants = mixed_tenant_workload(duration_ns=args.duration,

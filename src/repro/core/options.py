@@ -36,6 +36,10 @@ class RunOptions:
     * ``cache`` — use the content-keyed solver result cache.
     * ``disk_cache`` — directory for the persistent cache layer.
     * ``profile`` — collect per-stage wall-time (``StageTimings``).
+    * ``machines`` — cluster-scenario machine-count override
+      (0 = use the scenario document's rack as written).
+    * ``population_seed`` — override the scenario's population
+      sampling seed (None = use the document's).
     """
 
     engine: str = "auto"
@@ -44,6 +48,8 @@ class RunOptions:
     cache: bool = True
     disk_cache: Optional[str] = None
     profile: bool = False
+    machines: int = 0
+    population_seed: Optional[int] = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -51,6 +57,8 @@ class RunOptions:
                              f"(expected one of {ENGINES})")
         if self.jobs < 0:
             raise ValueError(f"jobs must be >= 0: {self.jobs}")
+        if self.machines < 0:
+            raise ValueError(f"machines must be >= 0: {self.machines}")
 
     # -- consumers -----------------------------------------------------------
 
@@ -104,6 +112,14 @@ class RunOptions:
             "--disk-cache", metavar="DIR", default=None,
             help="persist solver results under DIR so repeated "
                  "points are free across invocations")
+        parser.add_argument(
+            "--machines", type=int, default=0,
+            help="override a cluster scenario's machine count "
+                 "(0 = run the rack as the document describes it)")
+        parser.add_argument(
+            "--population-seed", type=int, default=None,
+            help="override a cluster scenario's population sampling "
+                 "seed (resamples every cohort deterministically)")
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "RunOptions":
@@ -115,4 +131,6 @@ class RunOptions:
             cache=not getattr(args, "no_cache", False),
             disk_cache=getattr(args, "disk_cache", None),
             profile=getattr(args, "profile", False),
+            machines=getattr(args, "machines", 0) or 0,
+            population_seed=getattr(args, "population_seed", None),
         )

@@ -92,6 +92,7 @@ class ClusterInjector:
         self.dropped_crash = 0
         self.dropped_partition = 0
         self.dropped_loss = 0
+        self.dropped_ctl = 0
         self.delayed = 0
         self.reordered = 0
         self._topology = topology
@@ -109,6 +110,19 @@ class ClusterInjector:
     def alive_shards(self, now: float) -> Tuple[str, ...]:
         """Shards whose machines are up at ``now``, in plan order."""
         return tuple(s for s in self.shards if not self.machine_down(s, now))
+
+    def machines_lost(self, since: float, until: float) -> Tuple[str, ...]:
+        """Shards whose machines died in ``(since, until]``, plan order.
+
+        The cluster scheduler's crash-migration trigger: a machine in
+        this set just went from alive to dead, so tenants offloaded
+        *to* it must be retargeted and tenants homed *on* it written
+        off until recovery.  Pure function of the plan, like every
+        oracle here.
+        """
+        return tuple(s for s in self.shards
+                     if not self.machine_down(s, since)
+                     and self.machine_down(s, until))
 
     # -- plan lowering ------------------------------------------------------------
 
@@ -156,6 +170,8 @@ class ClusterInjector:
                     or self.machine_down(msg.dst, msg.deliver_ns):
                 self.dropped += 1
                 self.dropped_crash += 1
+                if getattr(msg, "kind", "") == "ctl":
+                    self.dropped_ctl += 1
                 continue
             if any(p.active(msg.send_ns) and p.severs(msg.src, msg.dst)
                    for p in self.partitions):
@@ -213,6 +229,7 @@ class ClusterInjector:
             "cluster.dropped_crash": self.dropped_crash,
             "cluster.dropped_partition": self.dropped_partition,
             "cluster.dropped_loss": self.dropped_loss,
+            "cluster.dropped_ctl": self.dropped_ctl,
             "cluster.delayed": self.delayed,
             "cluster.reordered": self.reordered,
         }

@@ -47,6 +47,10 @@ class Decision:
     advice_refs: Tuple[str, ...] = ()
     observed_p99_ns: float = 0.0
     generation: int = 0
+    #: Which machine (shard) enacted the decision; "" on unsharded runs.
+    #: Shards the decision log per machine so the cluster-level merge
+    #: can attribute every move.
+    machine: str = ""
 
     def as_tuple(self) -> tuple:
         """A hashable, bit-comparable form (the determinism oracle)."""
@@ -54,7 +58,7 @@ class Decision:
                 self.to_responder,
                 self.from_path.value if self.from_path else None,
                 self.from_responder, self.reason, self.advice_refs,
-                self.observed_p99_ns, self.generation)
+                self.observed_p99_ns, self.generation, self.machine)
 
 
 @dataclass(frozen=True)

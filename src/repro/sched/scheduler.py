@@ -33,7 +33,7 @@ class PathScheduler:
 
     def __init__(self, runtime: ServingRuntime, policy: PathPolicy,
                  tracker: SloTracker, interval_ns: float = 20_000.0,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, machine: str = ""):
         if interval_ns <= 0:
             raise ValueError(f"tick interval must be positive: {interval_ns}")
         self.runtime = runtime
@@ -41,6 +41,7 @@ class PathScheduler:
         self.tracker = tracker
         self.interval_ns = interval_ns
         self.tracer = tracer
+        self.machine = machine
         self.decisions: List[Decision] = []
         # Hybrid-engine listener: called with each post-placement
         # Decision so the controller can open a guard window around the
@@ -110,7 +111,8 @@ class PathScheduler:
             reason=reason if reason is not None else placement.reason,
             advice_refs=(advice_refs if advice_refs is not None
                          else placement.advice_refs),
-            observed_p99_ns=observed_p99_ns, generation=generation)
+            observed_p99_ns=observed_p99_ns, generation=generation,
+            machine=self.machine)
         self.decisions.append(decision)
         if self.tracer is not None:
             self.tracer.annotate(

@@ -217,10 +217,16 @@ class ServeSession:
                  cooldown_ns: float = 60_000.0,
                  warmup_ns: Optional[float] = None,
                  trace: bool = False, engine: str = "event",
-                 hybrid_config=None, channel=None):
+                 hybrid_config=None, channel=None, nic: str = "snic"):
         if engine not in ("event", "des-heap", "hybrid"):
             raise ValueError(f"unknown serve engine {engine!r}; "
                              "expected 'event', 'des-heap' or 'hybrid'")
+        if nic not in ("snic", "rnic"):
+            raise ValueError(f"unknown nic {nic!r}; "
+                             "expected 'snic' or 'rnic'")
+        if nic == "rnic" and any(t.bulk for t in tenants):
+            raise ValueError("bulk (path-3) tenants need an off-path "
+                             "SmartNIC; this machine carries an RNIC")
         tenants = tuple(tenants)
         if not tenants:
             raise ValueError("need at least one tenant")
@@ -240,8 +246,10 @@ class ServeSession:
         else:
             from repro.sim.batchq import BatchSimulator
             sim = BatchSimulator()
+        # "rnic" builds a host-only machine (no SoC node): the policy
+        # sees soc_available=False and terminates everything host-ward.
         self.cluster = SimCluster(testbed, sim=sim, n_clients=n_clients,
-                                  nic="snic")
+                                  nic=nic)
         self.tracer = Tracer().install(self.cluster) if trace else None
         self.telemetry = Telemetry(self.cluster)
         if faults is not None and not faults.empty:
@@ -262,7 +270,10 @@ class ServeSession:
         if adaptive:
             scheduler = PathScheduler(self.runtime, self.policy,
                                       self.tracker, interval_ns=interval_ns,
-                                      tracer=self.tracer)
+                                      tracer=self.tracer,
+                                      machine=(channel.shard
+                                               if channel is not None
+                                               else ""))
             scheduler.start()
             self.decisions = scheduler.decisions
         else:
@@ -297,6 +308,24 @@ class ServeSession:
     def run_to_completion(self) -> None:
         self.cluster.sim.run()
 
+    def apply_directive(self, message) -> None:
+        """Enact one cluster-scheduler ``ctl`` directive.
+
+        ``"serve-on:<machine>"`` points the tenant's requests at a
+        remote machine's host relay; ``"serve-local"`` returns them
+        home.  Directives arrive through the fabric like any other
+        message, so they are window-logged and replay-safe.
+        """
+        note = message.note or ""
+        if note.startswith("serve-on:"):
+            self.runtime.remote_serve[message.tenant] = note.split(":", 1)[1]
+            self.cluster.bump("sched.directives")
+        elif note == "serve-local":
+            self.runtime.remote_serve.pop(message.tenant, None)
+            self.cluster.bump("sched.directives")
+        else:
+            raise ValueError(f"unknown ctl directive {note!r}")
+
     def heartbeat(self) -> dict:
         """Picklable progress digest for the sharded supervisor.
 
@@ -305,8 +334,21 @@ class ServeSession:
         every window (arrivals = admitted + rejected; in-flight =
         admitted − finished) — plus the bound channel's fabric flow
         counts ``(sent, handed, fired, timeouts)``.
+
+        Two further keys feed the cluster scheduler (the watchdog only
+        reads ``"tenants"``/``"fabric"``, so they are additive):
+
+        * ``"windows"`` — per tenant, the latest *closed* SLO window's
+          ``(index, count, p99_ns, rejected, violations)`` digest (or
+          ``None`` before the first), via the side-effect-free
+          :meth:`~repro.sched.slo.SloTracker.closed_window_digest`;
+        * ``"load"`` — this machine's ``(completed_total,
+          remote_served, acked, rtt_ns_total)`` for load-aware
+          placement.
         """
         tenants = {}
+        windows = {}
+        now = self.cluster.sim.now
         progress = self.runtime.progress()
         for spec in self.tenants:
             admitted, finished = progress[spec.name]
@@ -318,9 +360,17 @@ class ServeSession:
                 self.tracker.lost[spec.name],
                 admitted - finished,
             )
-        fabric = (self.channel.flow_counts() if self.channel is not None
+            windows[spec.name] = self.tracker.closed_window_digest(
+                spec.name, now)
+        channel = self.channel
+        fabric = (channel.flow_counts() if channel is not None
                   else (0, 0, 0, 0))
-        return {"tenants": tenants, "fabric": fabric}
+        load = (sum(self.tracker.completed.values()),
+                channel.served_count if channel is not None else 0,
+                channel.acked_count if channel is not None else 0,
+                channel.rtt_ns_total if channel is not None else 0.0)
+        return {"tenants": tenants, "fabric": fabric,
+                "windows": windows, "load": load}
 
     def finalize(self) -> ServeReport:
         elapsed = self.cluster.sim.now

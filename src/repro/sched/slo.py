@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.sched.tenant import CompletionRecord, SloSpec, TenantSpec
 from repro.units import to_gbps
@@ -224,6 +224,28 @@ class SloTracker:
                 violations=acc.violations,
             ))
         return tuple(out)
+
+    def closed_window_digest(self, tenant: str, now: float
+                             ) -> Optional[Tuple[int, int, float, int, int]]:
+        """``(index, count, p99_ns, rejected, violations)`` for the most
+        recent *closed* fixed window, or ``None`` before the first one.
+
+        Built for barrier-time heartbeats: it reads the archive only —
+        no pruning side effects like :meth:`window`, no O(all-windows)
+        walk like :meth:`window_series` — so calling it every sync
+        window is cheap and cannot perturb the rolling view.
+        """
+        cutoff = int(now // self.window_ns)
+        closed = [idx for idx in self._archive[tenant] if idx < cutoff]
+        if not closed:
+            return None
+        idx = max(closed)
+        acc = self._archive[tenant][idx]
+        latencies = sorted(acc.latencies)
+        n = len(latencies)
+        p99 = (latencies[min(n - 1, max(0, int(0.99 * n)))]
+               if latencies else 0.0)
+        return (idx, n, p99, acc.rejected, acc.violations)
 
     def window(self, tenant: str, now: float) -> WindowStats:
         """The tenant's stats over ``[now - window, now]``."""

@@ -58,6 +58,9 @@ class TenantSpec:
     * ``workers`` — maximum in-flight requests (one QP per worker).
     * ``queue_limit`` — bounded admission queue; arrivals beyond it are
       rejected (the backpressure signal).
+    * ``ingress_ns`` — fixed network overhead *outside* the machine
+      (the load-balancer round trip in a rack scenario), folded into
+      every recorded latency so SLO accounting sees what the user saw.
     """
 
     name: str
@@ -72,6 +75,7 @@ class TenantSpec:
     workers: int = 4
     queue_limit: int = 32
     seed: int = 0
+    ingress_ns: float = 0.0
 
     def __post_init__(self):
         if self.payload < 0:
@@ -87,6 +91,8 @@ class TenantSpec:
             raise ValueError(f"queue limit must be >= 1: {self.queue_limit}")
         if self.bulk and self.mix.send > 0:
             raise ValueError("bulk (path-3) tenants are one-sided")
+        if self.ingress_ns < 0:
+            raise ValueError(f"negative ingress: {self.ingress_ns}")
 
     @property
     def offered_gbps(self) -> float:

@@ -51,6 +51,7 @@ per-tenant latencies and counts are exact).
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import traceback
 import warnings
@@ -85,10 +86,17 @@ class ShardSpec:
     faults: Optional[FaultPlan] = None
     fault_seed: int = 0
     exports: Tuple[CrossTraffic, ...] = ()
+    #: Which NIC this machine carries: ``"snic"`` (off-path SmartNIC,
+    #: SoC present, all three comm paths) or ``"rnic"`` (plain RNIC —
+    #: host-only, no SoC endpoints, no path-③ bulk offload).
+    nic: str = "snic"
 
     def __post_init__(self):
         if not self.tenants:
             raise ValueError(f"shard {self.name!r} has no tenants")
+        if self.nic not in ("snic", "rnic"):
+            raise ValueError(f"shard {self.name!r}: unknown nic "
+                             f"{self.nic!r}; expected 'snic' or 'rnic'")
         names = {t.name for t in self.tenants}
         seen = set()
         for export in self.exports:
@@ -218,6 +226,14 @@ def _make_session(shard: ShardSpec, serve_kwargs: dict,
                   topology: Optional[ShardTopology],
                   injector: Optional[ClusterInjector] = None,
                   fault_timeout_ns: Optional[float] = None) -> ServeSession:
+    if serve_kwargs.get("testbed") is not None:
+        # SimCluster adopts the testbed's device objects and re-binds
+        # them to its own simulator; in-process shards sharing one
+        # Testbed would therefore fight over the same SmartNIC and the
+        # run would never drain.  Every session gets its own copy
+        # (worker processes get one implicitly, via pickling).
+        serve_kwargs = dict(serve_kwargs)
+        serve_kwargs["testbed"] = copy.deepcopy(serve_kwargs["testbed"])
     channel = None
     if topology is not None:
         channel = ShardChannel(shard.name, topology, shard.export_map(),
@@ -225,7 +241,7 @@ def _make_session(shard: ShardSpec, serve_kwargs: dict,
                                fault_timeout_ns=fault_timeout_ns)
     return ServeSession(shard.tenants, faults=shard.faults,
                         fault_seed=shard.fault_seed, channel=channel,
-                        **serve_kwargs)
+                        nic=shard.nic, **serve_kwargs)
 
 
 def _shard_worker(conn, shard: ShardSpec, serve_kwargs: dict,
@@ -303,6 +319,30 @@ class _WorkerGone(Exception):
     """A worker died or stalled — respawnable, unlike a worker error."""
 
 
+def _controller_step(controller, router, injector, barrier: float,
+                     window_no: int, heartbeats: Dict[str, dict],
+                     done_map: Dict[str, bool]) -> None:
+    """One cluster-controller tick at a closed barrier.
+
+    The controller observes the window's heartbeats and may inject
+    ``ctl`` directives onto the fabric; they ride the normal router →
+    inbox path, so they are window-logged like any other message and a
+    replayed shard re-receives them verbatim (the controller's own
+    re-injections during replay are discarded with the regenerated
+    outboxes).  Runs *before* the watchdog so the flow balance sees the
+    injection and the router pending count move together.
+    """
+    if controller is None:
+        return
+    messages = controller.observe(window_no, barrier, heartbeats, done_map)
+    if not messages:
+        return
+    if injector is not None:
+        messages = injector.apply_outbox(messages)
+    if messages:
+        router.route(messages)
+
+
 def _run_lockstep_inprocess(shards: Sequence[ShardSpec],
                             serve_kwargs: dict, sync_window_ns: float,
                             topology: Optional[ShardTopology],
@@ -310,7 +350,7 @@ def _run_lockstep_inprocess(shards: Sequence[ShardSpec],
                             fault_timeout_ns: Optional[float],
                             config: Optional[SupervisorConfig],
                             log: WindowLog, incidents: IncidentLog,
-                            resumed: bool):
+                            resumed: bool, controller=None):
     cfg = config if config is not None else SupervisorConfig()
     names = [shard.name for shard in shards]
     by_name = {shard.name: shard for shard in shards}
@@ -352,13 +392,17 @@ def _run_lockstep_inprocess(shards: Sequence[ShardSpec],
                 router.route(outbox)
         return moved_here
 
-    def audit(barrier_now: float) -> None:
+    def audit(barrier_now: float, window_now: int) -> None:
         for name in names:
             heartbeats[name] = sessions[name].heartbeat()
+        _controller_step(controller, router, injector, barrier_now,
+                         window_now, heartbeats,
+                         {name: sessions[name].done for name in names})
         watchdog.check(
             barrier_now, heartbeats,
             router.pending_count if router is not None else 0,
-            injector.dropped if injector is not None else 0)
+            injector.dropped if injector is not None else 0,
+            injected=controller.ctl_sent if controller is not None else 0)
 
     barrier = 0.0
     window_no = 0
@@ -377,7 +421,7 @@ def _run_lockstep_inprocess(shards: Sequence[ShardSpec],
                     session.channel.deliver(inbound_k[name])
                 session.advance(barrier_k)
             route_window(barrier_k)
-            audit(barrier_k)
+            audit(barrier_k, window_no)
             if k < last and router is not None:
                 next_barrier = log.windows[k + 1][0]
                 for name in names:
@@ -423,7 +467,7 @@ def _run_lockstep_inprocess(shards: Sequence[ShardSpec],
                 session.channel.deliver(inbound[name])
             session.advance(barrier)
         moved = route_window(barrier) or moved
-        audit(barrier)
+        audit(barrier, window_no)
         if router is not None and _wedged(
                 [sessions[name].done for name in names],
                 [sessions[name].channel.idle for name in names],
@@ -445,7 +489,7 @@ def _run_lockstep_multiprocess(shards: Sequence[ShardSpec],
                                fault_timeout_ns: Optional[float],
                                config: Optional[SupervisorConfig],
                                log: WindowLog, incidents: IncidentLog,
-                               resumed: bool):
+                               resumed: bool, controller=None):
     cfg = config if config is not None else SupervisorConfig()
     ctx = multiprocessing.get_context()
     router = ShardRouter(topology) if topology is not None else None
@@ -555,10 +599,15 @@ def _run_lockstep_multiprocess(shards: Sequence[ShardSpec],
                         outbox = injector.apply_outbox(outbox)
                     if router is not None and outbox:
                         router.route(outbox)
+                _controller_step(controller, router, injector, barrier_k,
+                                 window_no, heartbeats,
+                                 dict(zip(names, done)))
                 watchdog.check(
                     barrier_k, heartbeats,
                     router.pending_count if router is not None else 0,
-                    injector.dropped if injector is not None else 0)
+                    injector.dropped if injector is not None else 0,
+                    injected=(controller.ctl_sent
+                              if controller is not None else 0))
                 if k < last and router is not None:
                     next_barrier = log.windows[k + 1][0]
                     for name in names:
@@ -609,10 +658,14 @@ def _run_lockstep_multiprocess(shards: Sequence[ShardSpec],
                         outbox = injector.apply_outbox(outbox)
                     if router is not None and outbox:
                         router.route(outbox)
+            _controller_step(controller, router, injector, barrier,
+                             window_no, heartbeats, dict(zip(names, done)))
             watchdog.check(
                 barrier, heartbeats,
                 router.pending_count if router is not None else 0,
-                injector.dropped if injector is not None else 0)
+                injector.dropped if injector is not None else 0,
+                injected=(controller.ctl_sent
+                          if controller is not None else 0))
             if router is not None and _wedged(done, idle, router, moved):
                 raise FabricWedgedError(
                     done=dict(zip(names, done)),
@@ -704,19 +757,29 @@ def merge_reports(reports: Sequence[ServeReport],
 def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
                 sync_window_ns: Optional[float] = None,
                 supervisor: Optional[SupervisorConfig] = None,
-                **serve_kwargs) -> ServeReport:
+                controller=None, **serve_kwargs) -> ServeReport:
     """Execute a shard plan and return the merged report.
 
     ``jobs`` — worker processes (``None``/0 → one per shard; 1 → the
     in-process reference execution).  ``sync_window_ns`` defaults to
-    200 µs for independent shards, and to the topology's tightest link
-    latency when the plan carries cross-shard traffic; an explicit
-    window wider than that latency is rejected — it would silently
-    break the one-window delivery guarantee.  ``serve_kwargs`` are
-    forwarded to every shard's :class:`~repro.sched.serve.ServeSession`
-    (``engine="hybrid"`` composes with sharding; exporting tenants
-    stay at event level).  ``trace=True`` is rejected: tracers do not
-    serialize across process boundaries.
+    200 µs for independent shards, and to the topology's tightest
+    *machine-to-machine* link latency when the plan carries cross-shard
+    traffic — LB links are excluded because the LB only originates
+    barrier-clocked control messages, never mid-window traffic
+    (:meth:`~repro.sim.xshard.ShardTopology.min_fabric_latency_ns`);
+    an explicit window wider than that latency is rejected — it would
+    silently break the one-window delivery guarantee.
+
+    ``controller`` is an optional cluster scheduler
+    (:class:`repro.cluster.ClusterScheduler`): at every closed barrier
+    it sees all shard heartbeats and may inject ``ctl`` directives onto
+    the fabric.  Its decisions are a pure function of the heartbeat
+    sequence, so ``jobs=N`` stays bit-identical to ``jobs=1`` with a
+    live controller.  ``serve_kwargs`` are forwarded to every shard's
+    :class:`~repro.sched.serve.ServeSession` (``engine="hybrid"``
+    composes with sharding; exporting tenants stay at event level).
+    ``trace=True`` is rejected: tracers do not serialize across
+    process boundaries.
 
     ``supervisor`` configures worker supervision, checkpointing, chaos
     kills and incident reporting
@@ -732,19 +795,25 @@ def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
     if plan.chaotic:
         injector = ClusterInjector(plan.cluster_faults,
                                    [s.name for s in plan.shards], topology)
+    if controller is not None and topology is None:
+        raise ValueError(
+            "a cluster controller needs a fabric: give the plan a "
+            "topology (or exports/cluster faults that default one)")
     if sync_window_ns is None:
-        sync_window_ns = (topology.min_latency_ns()
+        sync_window_ns = (topology.min_fabric_latency_ns()
                           if topology is not None else 200_000.0)
     if sync_window_ns <= 0:
         raise ValueError(f"sync window must be positive: {sync_window_ns}")
-    if topology is not None and sync_window_ns > topology.min_latency_ns():
+    if (topology is not None
+            and sync_window_ns > topology.min_fabric_latency_ns()):
         raise ValueError(
             f"sync_window_ns={sync_window_ns} exceeds the shortest "
-            f"inter-shard link latency ({topology.min_latency_ns()} ns): "
-            "the one-window delivery guarantee would not hold")
+            f"machine-to-machine link latency "
+            f"({topology.min_fabric_latency_ns()} ns): the one-window "
+            "delivery guarantee would not hold")
     if serve_kwargs.get("trace"):
         raise ValueError("trace=True is not supported for sharded runs")
-    for key in ("faults", "fault_seed", "channel"):
+    for key in ("faults", "fault_seed", "channel", "nic"):
         if key in serve_kwargs:
             raise ValueError(f"pass {key!r} per shard via ShardSpec")
     shards = plan.shards
@@ -758,7 +827,12 @@ def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
             f"kill_shard {supervisor.kill_shard!r} is not in the plan; "
             f"shards: {[s.name for s in shards]}")
     incidents = IncidentLog()
-    fingerprint = plan_fingerprint(plan, sync_window_ns, serve_kwargs)
+    # The controller's policy joins the run identity: resuming a
+    # checkpoint under a different scheduler config must be refused.
+    fp_kwargs = dict(serve_kwargs)
+    if controller is not None:
+        fp_kwargs["__controller__"] = controller.fingerprint()
+    fingerprint = plan_fingerprint(plan, sync_window_ns, fp_kwargs)
     resumed = False
     if supervisor is not None and supervisor.resume:
         log = WindowLog.load(supervisor.checkpoint_dir,
@@ -771,11 +845,13 @@ def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
     if jobs <= 1 or len(shards) == 1:
         reports, trackers = _run_lockstep_inprocess(
             shards, serve_kwargs, sync_window_ns, topology, injector,
-            fault_timeout_ns, supervisor, log, incidents, resumed)
+            fault_timeout_ns, supervisor, log, incidents, resumed,
+            controller=controller)
     else:
         reports, trackers = _run_lockstep_multiprocess(
             shards, serve_kwargs, sync_window_ns, jobs, topology, injector,
-            fault_timeout_ns, supervisor, log, incidents, resumed)
+            fault_timeout_ns, supervisor, log, incidents, resumed,
+            controller=controller)
     if supervisor is not None and supervisor.checkpoint_dir:
         log.complete = True
         log.save(supervisor.checkpoint_dir)
@@ -784,6 +860,8 @@ def run_sharded(plan: ShardPlan, jobs: Optional[int] = None,
     report = merge_reports(reports, trackers)
     if injector is not None:
         report.counters.update(injector.counters())
+    if controller is not None:
+        report.counters.update(controller.counters())
     if incidents.incidents:
         report.counters["supervisor.incidents"] = len(incidents.incidents)
         report.counters["supervisor.respawns"] = incidents.respawns

@@ -259,7 +259,15 @@ class ConservationWatchdog:
         self.windows_checked = 0
 
     def check(self, barrier: float, heartbeats: Dict[str, dict],
-              router_pending: int, fabric_dropped: int) -> None:
+              router_pending: int, fabric_dropped: int,
+              injected: int = 0) -> None:
+        """Audit one closed window.
+
+        ``injected`` counts messages the lockstep parent itself put on
+        the fabric (cluster-scheduler ctl directives): they were never
+        sent by any shard channel, so they appear on the handed side of
+        the flow balance without a matching ``sent``.
+        """
         violations = []
         total_sent = total_handed = 0
         for shard in sorted(heartbeats):
@@ -295,9 +303,11 @@ class ConservationWatchdog:
                 violations.append(f"{shard}: fabric counters went backwards")
             total_sent += sent
             total_handed += handed
-        if total_sent != total_handed + router_pending + fabric_dropped:
+        if total_sent + injected != (total_handed + router_pending
+                                     + fabric_dropped):
             violations.append(
-                f"fabric flow: sent {total_sent} != handed {total_handed} "
+                f"fabric flow: sent {total_sent} + injected {injected} "
+                f"!= handed {total_handed} "
                 f"+ router-pending {router_pending} "
                 f"+ dropped {fabric_dropped}")
         if violations:

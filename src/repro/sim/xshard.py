@@ -91,6 +91,13 @@ class ShardTopology:
     link_latency_ns: float = DEFAULT_LINK_LATENCY_NS
     #: Optional per-link override: {(src, dst): latency_ns}.
     overrides: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    #: Load-balancer node, if any.  The LB is a topology node like any
+    #: other (so links to/from it have latencies and ctl messages can
+    #: be addressed from it) but it hosts no serving machine: no shard
+    #: worker runs for it and no cross-shard *traffic* transits it, so
+    #: its links are excluded from the ``sync_window_ns`` derivation —
+    #: see :meth:`min_fabric_latency_ns`.
+    lb: Optional[str] = None
 
     def __post_init__(self):
         if len(set(self.shards)) != len(self.shards):
@@ -98,6 +105,9 @@ class ShardTopology:
         if self.link_latency_ns <= 0:
             raise ValueError(
                 f"link latency must be positive: {self.link_latency_ns}")
+        if self.lb is not None and self.lb not in self.shards:
+            raise ValueError(f"lb {self.lb!r} not in topology "
+                             f"{list(self.shards)}")
         for (src, dst), latency in self.overrides.items():
             for name in (src, dst):
                 if name not in self.shards:
@@ -129,9 +139,34 @@ class ShardTopology:
         return self.overrides.get((src, dst), self.link_latency_ns)
 
     def min_latency_ns(self) -> float:
-        """The tightest link — the ceiling for ``sync_window_ns``."""
+        """The tightest link anywhere in the topology, LB hops included."""
         latencies = [self.latency_ns(s, d) for s in self.shards
                      for d in self.shards if s != d]
+        return min(latencies) if latencies else self.link_latency_ns
+
+    @property
+    def fabric_shards(self) -> Tuple[str, ...]:
+        """The shards that run serving machines (everything but the LB)."""
+        return tuple(s for s in self.shards if s != self.lb)
+
+    def min_fabric_latency_ns(self) -> float:
+        """The tightest *machine-to-machine* link — the real ceiling for
+        ``sync_window_ns``.
+
+        One-window delivery requires every link that carries messages
+        sent *mid-window* to be at least one window long.  Machine
+        links carry such traffic (relays, bulk shipping, acks fire at
+        arbitrary sim instants), so they bound the window.  LB links do
+        not: the only LB-originated messages are control directives the
+        lockstep parent injects *at barriers* (sender clock == barrier),
+        so any positive LB latency lands them strictly inside the next
+        window.  Deriving the window from :meth:`min_latency_ns` would
+        let a fast LB hop needlessly narrow it — more barriers, same
+        results.
+        """
+        fabric = self.fabric_shards
+        latencies = [self.latency_ns(s, d) for s in fabric
+                     for d in fabric if s != d]
         return min(latencies) if latencies else self.link_latency_ns
 
 
@@ -146,7 +181,7 @@ class ShardMessage:
 
     src: str
     dst: str
-    kind: str                    # "bulk" | "relay" | "ack"
+    kind: str                    # "bulk" | "relay" | "ack" | "ctl"
     tenant: str
     nbytes: int
     send_ns: float
@@ -154,6 +189,11 @@ class ShardMessage:
     msg_id: int
     reply_to: Optional[int] = None
     origin_send_ns: float = 0.0  # acks: the original request's send_ns
+    #: Control payload for ``kind="ctl"`` directives from the cluster
+    #: scheduler ("serve-on:<machine>" / "serve-local"); empty for data
+    #: messages.  Defaulted so pre-existing window checkpoints (which
+    #: round-trip messages through ``dataclasses.asdict``) still load.
+    note: str = ""
 
     def sort_key(self) -> tuple:
         return (self.deliver_ns, self.src, self.msg_id)
@@ -210,6 +250,11 @@ class ShardChannel:
         self.handed_count = 0
         self.fired_count = 0
         self.timeout_count = 0
+        # Load surfaces for the cluster scheduler's heartbeat digest:
+        # inbound work served here, acks seen, and accumulated RTT.
+        self.served_count = 0
+        self.acked_count = 0
+        self.rtt_ns_total = 0.0
 
     # -- session binding ----------------------------------------------------
 
@@ -307,7 +352,9 @@ class ShardChannel:
             return export.dst_shard
         from repro.sched.policy import PathPolicy
         now = self.sim.now
-        candidates = [s for s in self.topology.shards
+        # Fabric shards only: the LB node runs no serving machine, so a
+        # relay routed there would never be taken and would wedge.
+        candidates = [s for s in self.topology.fabric_shards
                       if s != self.shard
                       and not self.injector.machine_down(s, now)]
         dst = PathPolicy.surviving_host(export.dst_shard, candidates)
@@ -354,6 +401,13 @@ class ShardChannel:
         if message.kind == "ack":
             self._on_ack(message)
             return
+        if message.kind == "ctl":
+            # Cluster-scheduler directive: applied instantly (no relay
+            # service, no ack — the scheduler observes effects through
+            # the next heartbeat, not a reply).
+            self.cluster.bump("xshard.ctl")
+            self._session.apply_directive(message)
+            return
         # Inbound work: occupy the host relay for a CPU dispatch plus a
         # DRAM-speed copy, then ack back to the sender.
         yield self._relay.request()
@@ -364,6 +418,7 @@ class ShardChannel:
             yield self.sim.timeout(service)
         finally:
             self._relay.release()
+        self.served_count += 1
         self.cluster.bump("xshard.served")
         self.cluster.bump("xshard.served_bytes", message.nbytes)
         self._post(message.src, "ack", message.tenant, 0,
@@ -371,6 +426,8 @@ class ShardChannel:
 
     def _on_ack(self, message: ShardMessage) -> None:
         waiter = self._waiters.pop(message.reply_to, None)
+        self.acked_count += 1
+        self.rtt_ns_total += self.sim.now - message.origin_send_ns
         self.cluster.bump("xshard.acked")
         self.cluster.bump("xshard.rtt_ns_total",
                           self.sim.now - message.origin_send_ns)

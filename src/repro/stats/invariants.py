@@ -22,6 +22,12 @@ merged report of a sharded run):
 * **utilization** — delivered bandwidth cannot exceed capacity: the
   network paths (①/②) together stay within the 200 Gbps fabric, and
   each PCIe-only path-③ direction within the 256 Gbps root complex.
+* **cluster-flow** — sharded/rack runs only: every message put onto
+  the cross-shard fabric (``xshard.sent`` plus the cluster scheduler's
+  ``clustersched.ctl_sent`` directives) is delivered to some shard or
+  accounted dropped by the fault injector, ``sent + injected =
+  delivered + dropped``.  Skipped when the report carries no fabric
+  counters.
 * **sanity** — per-tenant report algebra: SLO-goodput ≤ goodput,
   p50 ≤ p99, attainment in [0, 1], counters non-negative.
 
@@ -122,6 +128,36 @@ def _check_utilization(report, network_gbps: float,
     return results
 
 
+def _check_cluster_flow(report) -> List[InvariantResult]:
+    """Cluster-level message conservation for sharded/rack runs.
+
+    Every message put onto the cross-shard fabric — by a shard's
+    channel (``xshard.sent``) or injected by the cluster scheduler
+    (``clustersched.ctl_sent``) — must end up delivered to some shard
+    (``xshard.delivered``) or accounted dropped by the fault injector
+    (``cluster.dropped``).  The per-window
+    :class:`~repro.sim.supervise.ConservationWatchdog` audits the same
+    balance live (with the router's pending count as the in-flight
+    term); here the run has drained, so pending must be zero and the
+    totals must close exactly.  Reports without fabric counters (an
+    unsharded run) have nothing to check.
+    """
+    counters = getattr(report, "counters", None) or {}
+    sent = counters.get("xshard.sent")
+    delivered = counters.get("xshard.delivered")
+    if sent is None and delivered is None:
+        return []
+    sent = sent or 0
+    delivered = delivered or 0
+    injected = counters.get("clustersched.ctl_sent", 0)
+    dropped = counters.get("cluster.dropped", 0)
+    ok = sent + injected == delivered + dropped
+    detail = (f"sent {sent:.0f} + injected {injected:.0f} vs "
+              f"delivered {delivered:.0f} + dropped {dropped:.0f}")
+    return [InvariantResult(name="cluster-flow", subject="fabric",
+                            ok=ok, detail=detail)]
+
+
 def _check_sanity(report) -> List[InvariantResult]:
     results = []
     for name in sorted(report.tenants):
@@ -163,6 +199,7 @@ def check_report(report, testbed=None) -> List[InvariantResult]:
     results.extend(_check_conservation(report))
     results.extend(_check_little(report))
     results.extend(_check_utilization(report, network_gbps, pcie_gbps))
+    results.extend(_check_cluster_flow(report))
     results.extend(_check_sanity(report))
     return results
 

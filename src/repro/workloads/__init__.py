@@ -16,6 +16,12 @@ from repro.workloads.access import (
 )
 from repro.workloads.mix import OpMix, RequestStream
 from repro.workloads.traces import Trace, TraceRecord
+from repro.workloads.population import (
+    PopulationSample,
+    PopulationSpec,
+    RandomVar,
+    sample_population,
+)
 
 __all__ = [
     "Trace",
@@ -32,4 +38,8 @@ __all__ = [
     "ZipfPattern",
     "OpMix",
     "RequestStream",
+    "PopulationSample",
+    "PopulationSpec",
+    "RandomVar",
+    "sample_population",
 ]

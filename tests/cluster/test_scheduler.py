@@ -1,0 +1,164 @@
+"""Unit tests for cluster placement and the migration controller."""
+
+import pytest
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.scheduler import (ClusterScheduler, bin_pack_placement,
+                                     round_robin_placement)
+from repro.net.topology import paper_testbed
+from repro.sched.tenant import SloSpec, TenantSpec
+from repro.sim.xshard import ShardTopology
+from repro.units import GB, MB
+from repro.workloads.mix import OpMix
+
+
+def _client(name, seed=0, interval_ns=2_000.0):
+    return TenantSpec(name=name, payload=512, interval_ns=interval_ns,
+                      requests=10, mix=OpMix(read=1.0, write=0.0),
+                      slo=SloSpec(p99_ns=50_000.0),
+                      working_set_bytes=4 * MB, seed=seed)
+
+
+def _bulk(name, interval_ns=4_500.0):
+    return TenantSpec(name=name, payload=65536, interval_ns=interval_ns,
+                      requests=10, mix=OpMix(read=0.0, write=1.0),
+                      bulk=True, slo=SloSpec(p99_ns=120_000.0),
+                      working_set_bytes=1 * GB)
+
+
+_MACHINES = (MachineSpec(name="a", nic="snic"),
+             MachineSpec(name="b", nic="rnic"),
+             MachineSpec(name="c", nic="snic"))
+
+
+def test_binpack_keeps_bulk_off_rnic_machines():
+    tenants = [_bulk("bulk0"), _bulk("bulk1"),
+               _client("c0"), _client("c1"), _client("c2")]
+    where = bin_pack_placement(tenants, _MACHINES, paper_testbed())
+    assert set(where) == {t.name for t in tenants}
+    assert where["bulk0"] != "b" and where["bulk1"] != "b"
+    # The two bulk shippers spread over the two SNIC machines.
+    assert {where["bulk0"], where["bulk1"]} == {"a", "c"}
+
+
+def test_binpack_honours_pins_and_rejects_impossible_ones():
+    tenants = [_bulk("bulk0"), _client("c0")]
+    where = bin_pack_placement(tenants, _MACHINES, paper_testbed(),
+                               pinned={"c0": "b"})
+    assert where["c0"] == "b"
+    with pytest.raises(ValueError, match="RNIC"):
+        bin_pack_placement(tenants, _MACHINES, paper_testbed(),
+                           pinned={"bulk0": "b"})
+    with pytest.raises(ValueError, match="unknown machine"):
+        bin_pack_placement(tenants, _MACHINES, paper_testbed(),
+                           pinned={"c0": "nope"})
+
+
+def test_binpack_raises_when_nothing_is_eligible():
+    with pytest.raises(ValueError, match="SNIC"):
+        bin_pack_placement([_bulk("bulk0")],
+                           [MachineSpec(name="b", nic="rnic")],
+                           paper_testbed())
+    testbed = paper_testbed()
+    too_many = [_client(f"c{i}", seed=i)
+                for i in range(testbed.n_clients + 1)]
+    with pytest.raises(ValueError, match="capacity"):
+        bin_pack_placement(too_many, [MachineSpec(name="a", nic="snic")],
+                           testbed)
+
+
+def test_round_robin_cycles_machines_in_order():
+    tenants = [_client(f"c{i}", seed=i) for i in range(6)]
+    where = round_robin_placement(tenants, _MACHINES, paper_testbed())
+    assert [where[f"c{i}"] for i in range(6)] == ["a", "b", "c"] * 2
+    # Bulk tenants skip the RNIC machine but keep the cursor moving.
+    mixed = [_bulk("bulk0"), _bulk("bulk1"), _bulk("bulk2")]
+    where = round_robin_placement(mixed, _MACHINES, paper_testbed())
+    assert where["bulk0"] == "a"
+    assert where["bulk1"] == "c"      # hopped over the RNIC machine
+    assert where["bulk2"] == "a"
+
+
+# -- the migration controller ------------------------------------------------
+
+_TOPO = ShardTopology(shards=("m0", "m1", "lb"), link_latency_ns=25_000.0,
+                      overrides={("lb", "m0"): 5_000.0,
+                                 ("m0", "lb"): 5_000.0,
+                                 ("lb", "m1"): 5_000.0,
+                                 ("m1", "lb"): 5_000.0},
+                      lb="lb")
+
+
+def _controller(**kwargs):
+    spec = TenantSpec(name="tenant", payload=4096, interval_ns=500.0,
+                      requests=100, mix=OpMix(read=0.0, write=1.0),
+                      slo=SloSpec(p99_ns=5_000.0, deadline_ns=200_000.0),
+                      working_set_bytes=32 * GB)
+    calm = _client("calm")
+    kwargs.setdefault("patience", 1)
+    kwargs.setdefault("cooldown_windows", 3)
+    kwargs.setdefault("min_samples", 1)
+    return ClusterScheduler(specs={"tenant": spec, "calm": calm},
+                            home={"tenant": "m0", "calm": "m1"},
+                            topology=_TOPO, **kwargs)
+
+
+def _beats(digest=None):
+    return {"m0": {"load": (0, 0, 0, 0.0),
+                   "windows": {"tenant": digest} if digest else {}},
+            "m1": {"load": (0, 0, 0, 0.0), "windows": {}}}
+
+
+def test_quiet_heartbeats_emit_nothing():
+    ctrl = _controller()
+    assert ctrl.observe(1, 25_000.0, _beats(), {}) == []
+    assert ctrl.ctl_sent == 0 and not ctrl.decisions
+
+
+def test_breach_streak_triggers_one_offload_with_cooldown():
+    ctrl = _controller()
+    breaching = (0, 10, 9_000.0, 0, 1)       # p99 9 µs > 5 µs SLO
+    messages = ctrl.observe(1, 25_000.0, _beats(breaching), {})
+    assert len(messages) == 1
+    (msg,) = messages
+    assert msg.kind == "ctl" and msg.src == "lb" and msg.dst == "m0"
+    assert msg.note == "serve-on:m1"
+    assert msg.deliver_ns == 25_000.0 + 5_000.0     # the LB hop, not 25 µs
+    assert ctrl.remote == {"tenant": "m1"}
+    assert ctrl.offloads == 1 and ctrl.ctl_sent == 1
+    # Cooldown: the same breach one window later moves nothing.
+    again = ctrl.observe(2, 50_000.0, _beats((1, 10, 9_000.0, 0, 1)), {})
+    assert again == [] and ctrl.offloads == 1
+
+
+def test_rejections_count_as_breaching_regardless_of_p99():
+    ctrl = _controller()
+    rejected = (0, 2, 1_000.0, 5, 0)         # p99 fine, queue overflowed
+    assert len(ctrl.observe(1, 25_000.0, _beats(rejected), {})) == 1
+
+
+def test_done_target_returns_tenant_home():
+    ctrl = _controller()
+    ctrl.observe(1, 25_000.0, _beats((0, 10, 9_000.0, 0, 1)), {})
+    assert ctrl.remote == {"tenant": "m1"}
+    messages = ctrl.observe(2, 50_000.0, _beats(), {"m1": True})
+    assert len(messages) == 1
+    assert messages[0].note == "serve-local"
+    assert ctrl.remote == {} and ctrl.returns == 1
+
+
+def test_short_deadline_tenants_never_offload():
+    import dataclasses
+    ctrl = _controller()
+    # Deadline below the relay cost × slack: not a donor.
+    ctrl.specs["tenant"] = dataclasses.replace(
+        ctrl.specs["tenant"],
+        slo=SloSpec(p99_ns=5_000.0, deadline_ns=40_000.0))
+    assert ctrl.observe(1, 25_000.0,
+                        _beats((0, 10, 9_000.0, 0, 1)), {}) == []
+
+
+def test_fingerprint_tracks_policy():
+    assert _controller().fingerprint() == _controller().fingerprint()
+    assert (_controller(patience=2).fingerprint()
+            != _controller(patience=1).fingerprint())

@@ -1,0 +1,52 @@
+"""LB links must not narrow the lockstep sync window.
+
+The load balancer is a topology node so control messages can be
+addressed from it, but it only injects traffic *at* barriers — the
+one-window delivery guarantee never rides on an LB hop.  The window
+floor therefore comes from the tightest machine-to-machine link
+(``min_fabric_latency_ns``), not the tightest link anywhere
+(``min_latency_ns``); deriving it from the latter would let a fast LB
+hop force needless extra barriers (and reject perfectly valid explicit
+windows).
+"""
+
+import pytest
+
+from repro.sched.serve import mixed_tenant_workload
+from repro.sim.shard import ShardPlan, run_sharded
+from repro.sim.xshard import ShardTopology
+
+_LB_LINKS = {("lb", "shard0"): 5_000.0, ("shard0", "lb"): 5_000.0,
+             ("lb", "shard1"): 5_000.0, ("shard1", "lb"): 5_000.0}
+
+
+def _lb_topology():
+    return ShardTopology(shards=("shard0", "shard1", "lb"),
+                         link_latency_ns=25_000.0,
+                         overrides=_LB_LINKS, lb="lb")
+
+
+def test_fabric_floor_excludes_lb_links():
+    topo = _lb_topology()
+    assert topo.fabric_shards == ("shard0", "shard1")
+    assert topo.min_latency_ns() == 5_000.0
+    assert topo.min_fabric_latency_ns() == 25_000.0
+
+
+def test_fabric_floor_without_lb_matches_min_latency():
+    topo = ShardTopology(shards=("shard0", "shard1"),
+                         link_latency_ns=25_000.0)
+    assert topo.min_fabric_latency_ns() == topo.min_latency_ns() == 25_000.0
+
+
+def test_explicit_window_judged_against_fabric_links():
+    base = ShardPlan.partition(mixed_tenant_workload(duration_ns=60_000.0),
+                               2)
+    plan = ShardPlan(shards=base.shards, topology=_lb_topology())
+    # Regression: the 25 µs window is exactly the machine-to-machine
+    # latency and must be accepted even though the LB hop is 5 µs.
+    report = run_sharded(plan, jobs=1, sync_window_ns=25_000.0)
+    assert report.tenants
+    # Wider than the fabric links still breaks one-window delivery.
+    with pytest.raises(ValueError, match="machine-to-machine"):
+        run_sharded(plan, jobs=1, sync_window_ns=30_000.0)

@@ -40,7 +40,8 @@ REPRO_EXPORTS = [
     "paper_testbed",
 ]
 
-API_EXPORTS = ["RunOptions", "Session"]
+API_EXPORTS = ["ClusterScenario", "MachineDoc", "RunOptions",
+               "SchedulerDoc", "Session", "TenantDoc"]
 
 
 def test_repro_export_snapshot():
